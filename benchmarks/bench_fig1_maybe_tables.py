@@ -1,0 +1,36 @@
+"""E1 / Figure 1: possible worlds of the query over the maybe-table.
+
+Regenerates Figure 1(c): the eight answer worlds of ``q`` over the three
+optional tuples, and checks that the world set is *not* representable by a
+maybe-table (the paper's motivation for c-tables).
+"""
+
+from conftest import report
+
+from repro.incomplete import MaybeTable, answer_world_set
+from repro.workloads import figure1_maybe_table, figure2_ctable_input, section2_query
+
+
+def _answer_worlds():
+    query = section2_query()
+    table = figure2_ctable_input()
+    return answer_world_set(query, table, "R", variables=["b1", "b2", "b3"])
+
+
+def test_fig1_possible_worlds(benchmark):
+    worlds = benchmark(_answer_worlds)
+    assert len(worlds) == 8
+    assert not MaybeTable.can_represent(sorted(worlds, key=len))
+    rendered = sorted(
+        "{" + ", ".join(sorted(f"({t['a']},{t['c']})" for t in world)) + "}" for world in worlds
+    )
+    report(
+        "Figure 1(c): answer worlds of q over the maybe-table",
+        rendered + ["not representable as a maybe-table: True"],
+    )
+
+
+def test_fig1_maybe_table_expansion(benchmark):
+    table = figure1_maybe_table()
+    worlds = benchmark(lambda: list(table.possible_worlds()))
+    assert len(worlds) == 8

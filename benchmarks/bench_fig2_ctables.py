@@ -1,0 +1,60 @@
+"""E2 / Figure 2: the Imielinski-Lipski computation on c-tables via PosBool(B).
+
+Regenerates the simplified c-table of Figure 2(b).
+"""
+
+from conftest import report
+
+from repro.incomplete import CTable, ctable_database
+from repro.semirings.posbool import BoolExpr
+from repro.workloads import figure2_ctable_input, section2_query
+
+EXPECTED = {
+    ("a", "c"): "b1",
+    ("a", "e"): "b1 ∧ b2",
+    ("d", "c"): "b1 ∧ b2",
+    ("d", "e"): "b2",
+    ("f", "e"): "b3",
+}
+
+
+def _imielinski_lipski():
+    database = ctable_database({"R": figure2_ctable_input()})
+    return section2_query().evaluate(database)
+
+
+def test_fig2_ctable_query_answering(benchmark):
+    result = benchmark(_imielinski_lipski)
+    rows = []
+    for tup, condition in sorted(result.items(), key=lambda kv: str(kv[0])):
+        key = (tup["a"], tup["c"])
+        assert str(condition) == EXPECTED[key]
+        rows.append(f"{key[0]} {key[1]}   {condition}")
+    report("Figure 2(b): simplified c-table result", rows)
+
+
+def test_fig2_result_world_set_equivalence(benchmark):
+    """The c-table result represents exactly the Figure 1(c) worlds."""
+    result = _imielinski_lipski()
+    output = CTable.from_relation(result)
+
+    def world_set():
+        return output.world_set(variables=["b1", "b2", "b3"])
+
+    worlds = benchmark(world_set)
+    assert len(worlds) == 8
+
+
+def test_fig2_condition_simplification(benchmark):
+    """The raw Figure 2(a) conditions simplify (absorption) to Figure 2(b)."""
+
+    def simplify():
+        b1, b2, b3 = BoolExpr.var("b1"), BoolExpr.var("b2"), BoolExpr.var("b3")
+        return [
+            (b1 & b1) | (b1 & b1),
+            (b2 & b2) | (b2 & b2) | (b2 & b3),
+            (b3 & b3) | (b3 & b3) | (b2 & b3),
+        ]
+
+    simplified = benchmark(simplify)
+    assert [str(e) for e in simplified] == ["b1", "b2", "b3"]

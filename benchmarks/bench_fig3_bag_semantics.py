@@ -1,0 +1,19 @@
+"""E3 / Figure 3: bag-semantics evaluation (multiplicities 8, 10, 10, 55, 7)."""
+
+from conftest import report
+
+from repro.workloads import figure3_bag_database, section2_query
+
+EXPECTED = {("a", "c"): 8, ("a", "e"): 10, ("d", "c"): 10, ("d", "e"): 55, ("f", "e"): 7}
+
+
+def test_fig3_bag_multiplicities(benchmark):
+    database = figure3_bag_database()
+    query = section2_query()
+    result = benchmark(lambda: query.evaluate(database))
+    rows = []
+    for tup, multiplicity in sorted(result.items(), key=lambda kv: str(kv[0])):
+        key = (tup["a"], tup["c"])
+        assert multiplicity == EXPECTED[key]
+        rows.append(f"{key[0]} {key[1]}   {multiplicity}")
+    report("Figure 3(b): bag-semantics result of q", rows)

@@ -1,0 +1,40 @@
+"""E4 / Figure 4: event tables and exact output-tuple probabilities."""
+
+import pytest
+from conftest import report
+
+from repro.workloads import figure4_probabilistic_database, section2_query
+
+EXPECTED_EVENTS = {
+    ("a", "c"): "x",
+    ("a", "e"): "x ∩ y",
+    ("d", "c"): "x ∩ y",
+    ("d", "e"): "y",
+    ("f", "e"): "z",
+}
+EXPECTED_PROBABILITIES = {
+    ("a", "c"): 0.6,
+    ("a", "e"): 0.3,
+    ("d", "c"): 0.3,
+    ("d", "e"): 0.5,
+    ("f", "e"): 0.1,
+}
+
+
+def test_fig4_event_table_query(benchmark):
+    pdb = figure4_probabilistic_database()
+    query = section2_query()
+    events = benchmark(lambda: pdb.query_events(query))
+    assert len(events) == 5
+
+
+def test_fig4_output_probabilities(benchmark):
+    pdb = figure4_probabilistic_database()
+    query = section2_query()
+    probabilities = benchmark(lambda: pdb.query_probabilities(query))
+    rows = []
+    for tup, probability in sorted(probabilities.items(), key=lambda kv: str(kv[0])):
+        key = (tup["a"], tup["c"])
+        assert probability == pytest.approx(EXPECTED_PROBABILITIES[key])
+        rows.append(f"{key[0]} {key[1]}   {EXPECTED_EVENTS[key]:7s}  Pr = {probability:.2f}")
+    report("Figure 4(b): event-table result with probabilities (Pr x=0.6, y=0.5, z=0.1)", rows)

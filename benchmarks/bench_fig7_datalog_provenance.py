@@ -1,0 +1,72 @@
+"""E7 / Figure 7: transitive closure with bag semantics, the algebraic system,
+and the formal-power-series provenance (Catalan coefficients)."""
+
+from conftest import report
+
+from repro.datalog import GroundAtom, build_algebraic_system, datalog_provenance, evaluate
+from repro.semirings import CompletedNaturalsSemiring, Monomial, NatInf
+from repro.semirings.numeric import INFINITY
+from repro.workloads import figure7_database, figure7_edb_ids, figure7_idb_ids, figure7_program
+
+EXPECTED_MULTIPLICITIES = {
+    ("a", "b"): NatInf(8),
+    ("a", "c"): NatInf(3),
+    ("c", "b"): NatInf(2),
+    ("b", "d"): INFINITY,
+    ("d", "d"): INFINITY,
+    ("a", "d"): INFINITY,
+    ("c", "d"): INFINITY,  # derivable but omitted from the paper's figure
+}
+CATALAN = [1, 1, 2, 5, 14]
+
+
+def test_fig7b_transitive_closure_multiplicities(benchmark):
+    database = figure7_database()
+    program = figure7_program()
+    result = benchmark(lambda: evaluate(program, database))
+    rows = []
+    for values, expected in sorted(EXPECTED_MULTIPLICITIES.items()):
+        assert result.annotation(values) == expected
+        rows.append(f"{values[0]} {values[1]}   {result.semiring.format_value(result.annotation(values))}")
+    report("Figure 7(b): transitive closure with bag semantics over N∞", rows)
+
+
+def test_fig7f_algebraic_system_construction(benchmark):
+    database = figure7_database()
+    program = figure7_program()
+    system = benchmark(
+        lambda: build_algebraic_system(
+            program, database, idb_ids=figure7_idb_ids(), edb_ids=figure7_edb_ids()
+        )
+    )
+    report("Figure 7(f): algebraic system Q-bar = T_q(R, Q-bar)", str(system).splitlines())
+    assert str(system.equation("v")) in ("s + v^2", "v^2 + s")
+
+
+def test_fig7_system_solution_in_natinf(benchmark):
+    system = build_algebraic_system(
+        figure7_program(), figure7_database(), idb_ids=figure7_idb_ids(), edb_ids=figure7_edb_ids()
+    )
+    natinf = CompletedNaturalsSemiring()
+    solution = benchmark(lambda: system.solve(natinf))
+    assert solution[GroundAtom("Q", ("a", "b"))] == NatInf(8)
+    assert solution[GroundAtom("Q", ("a", "d"))] == INFINITY
+
+
+def test_fig7_provenance_power_series(benchmark):
+    """v = s + s² + 2s³ + 5s⁴ + 14s⁵ + ... (Catalan coefficients, footnote 6)."""
+    database = figure7_database()
+    program = figure7_program()
+    provenance = benchmark(
+        lambda: datalog_provenance(
+            program, database, truncation_degree=5, edb_ids=figure7_edb_ids()
+        )
+    )
+    v = provenance.provenance(GroundAtom("Q", ("d", "d")))
+    for n in range(1, 6):
+        assert v.coefficient(Monomial.var("s", n)) == NatInf(CATALAN[n - 1])
+    x = provenance.provenance(GroundAtom("Q", ("a", "b")))
+    report(
+        "Figure 7: datalog provenance series (Section 6)",
+        [f"x = {x}", f"v = {v}", f"u = {provenance.provenance(GroundAtom('Q', ('b', 'd')))}"],
+    )

@@ -1,0 +1,59 @@
+"""E9 / Figure 9: Algorithm Monomial-Coefficient -- exact coefficients of the
+provenance series, including detection of infinite coefficients."""
+
+from conftest import report
+
+from repro.datalog import monomial_coefficient
+from repro.relations import Database
+from repro.semirings import CompletedNaturalsSemiring, Monomial, NatInf
+from repro.workloads import figure7_database, figure7_edb_ids, figure7_program
+
+CATALAN = {1: 1, 2: 1, 3: 2, 4: 5, 5: 14, 6: 42}
+
+
+def test_fig9_catalan_coefficients(benchmark):
+    database = figure7_database()
+    program = figure7_program()
+
+    def coefficients():
+        return {
+            n: monomial_coefficient(
+                program, database, ("d", "d"), Monomial.var("s", n), edb_ids=figure7_edb_ids()
+            ).coefficient
+            for n in range(1, 7)
+        }
+
+    values = benchmark(coefficients)
+    for n, expected in CATALAN.items():
+        assert values[n] == NatInf(expected)
+    report(
+        "Figure 9: coefficients of s^n in v (Catalan numbers, paper footnote 6)",
+        [f"[s^{n}] v = {values[n]}" for n in sorted(values)],
+    )
+
+
+def test_fig9_w_coefficient(benchmark):
+    """Coefficient of r·n·p·s³ in w: 42 on the full instantiation (see EXPERIMENTS.md
+    for the discussion of the paper's claimed value of 5)."""
+    database = figure7_database()
+    program = figure7_program()
+    result = benchmark(
+        lambda: monomial_coefficient(
+            program, database, ("a", "d"), "r*n*p*s^3", edb_ids=figure7_edb_ids()
+        )
+    )
+    assert result.coefficient == NatInf(42)
+    report(
+        "Figure 9: coefficient of r·n·p·s^3 in w",
+        [f"[r·n·p·s^3] w = {result.coefficient} (paper text claims 5; see EXPERIMENTS.md)"],
+    )
+
+
+def test_fig9_infinite_coefficient_detection(benchmark):
+    """A unit-rule cycle makes a coefficient infinite (Theorem 6.5)."""
+    natinf = CompletedNaturalsSemiring()
+    database = Database(natinf)
+    database.create("E", ["x"], [(("a",), 1)])
+    program = "P(x) :- E(x)\nP(x) :- T(x)\nT(x) :- P(x)"
+    result = benchmark(lambda: monomial_coefficient(program, database, ("a",), "t1"))
+    assert result.is_infinite

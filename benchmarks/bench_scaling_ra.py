@@ -1,0 +1,59 @@
+"""S1: cost of annotation propagation in the positive algebra across semirings.
+
+The paper argues one generic algorithm serves set, bag, c-table, probabilistic
+and provenance annotations; this benchmark measures what the *choice of
+semiring* costs on the same star-join workload (who is cheap, who pays for
+symbolic annotations, and by roughly what factor provenance polynomials are
+heavier than plain Boolean evaluation).
+"""
+
+import pytest
+from conftest import report
+
+from repro.algebra import Q
+from repro.semirings import (
+    BooleanSemiring,
+    NaturalsSemiring,
+    PosBoolSemiring,
+    ProvenancePolynomialSemiring,
+    TropicalSemiring,
+    WhyProvenanceSemiring,
+)
+from repro.workloads import star_join_database
+
+SEMIRINGS = [
+    BooleanSemiring(),
+    NaturalsSemiring(),
+    TropicalSemiring(),
+    WhyProvenanceSemiring(),
+    PosBoolSemiring(),
+    ProvenancePolynomialSemiring(),
+]
+
+QUERY = (
+    Q.relation("F")
+    .join(Q.relation("D1"))
+    .join(Q.relation("D2"))
+    .project("a", "b", "x", "y")
+)
+
+
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=lambda s: s.name)
+def test_star_join_across_semirings(benchmark, semiring):
+    database = star_join_database(semiring, fact_tuples=150, dimension_tuples=30, seed=5)
+    result = benchmark(lambda: QUERY.evaluate(database))
+    assert len(result) > 0
+    report(
+        "S1: star join across semirings (see pytest-benchmark table for timings)",
+        ["the same query AST runs unchanged over every annotation semiring"],
+    )
+
+
+@pytest.mark.parametrize("fact_tuples", [50, 150, 400], ids=lambda n: f"facts={n}")
+def test_provenance_scaling_with_input_size(benchmark, fact_tuples):
+    """How provenance-polynomial evaluation scales with the fact-table size."""
+    database = star_join_database(
+        ProvenancePolynomialSemiring(), fact_tuples=fact_tuples, dimension_tuples=30, seed=5
+    )
+    result = benchmark(lambda: QUERY.evaluate(database))
+    assert len(result) >= 0

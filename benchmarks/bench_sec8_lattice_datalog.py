@@ -1,0 +1,87 @@
+"""T5 / Section 8: terminating datalog on finite distributive lattices
+(c-tables, event tables, Boolean sanity check)."""
+
+from conftest import report
+
+from repro.datalog import evaluate_on_lattice, lattice_condition_provenance
+from repro.probabilistic import ProbabilisticDatabase
+from repro.relations import Database
+from repro.semirings import BooleanSemiring, FuzzySemiring, PosBoolSemiring
+from repro.semirings.posbool import BoolExpr
+from repro.workloads import figure7_database, figure7_program, transitive_closure_program
+
+
+def test_sec8_boolean_sanity_check(benchmark):
+    """Datalog over B via the lattice algorithm: every derivable tuple is true."""
+    database = figure7_database(BooleanSemiring())
+    program = figure7_program()
+    result = benchmark(lambda: evaluate_on_lattice(program, database))
+    assert len(result) == 7 and all(v is True for v in result.annotations())
+
+
+def test_sec8_datalog_on_ctables(benchmark):
+    """Datalog on Boolean c-tables: recursive queries over PosBool(B) terminate."""
+    posbool = PosBoolSemiring()
+    database = Database(posbool)
+    database.create(
+        "R",
+        ["x", "y"],
+        [
+            (("a", "b"), BoolExpr.var("e1")),
+            (("b", "c"), BoolExpr.var("e2")),
+            (("c", "a"), BoolExpr.var("e3")),
+            (("c", "d"), BoolExpr.var("e4")),
+        ],
+    )
+    program = transitive_closure_program()
+    result = benchmark(lambda: evaluate_on_lattice(program, database))
+    assert result.annotation(("a", "d")) == (
+        BoolExpr.var("e1") & BoolExpr.var("e2") & BoolExpr.var("e4")
+    )
+    report(
+        "Section 8: datalog on a Boolean c-table (transitive closure conditions)",
+        [f"{t['x']} {t['y']}   {result.annotation(t)}" for t in sorted(result.support, key=str)],
+    )
+
+
+def test_sec8_probabilistic_datalog(benchmark):
+    """Datalog over P(Omega): exact probabilities for recursive reachability."""
+    pdb = ProbabilisticDatabase()
+    pdb.add_relation(
+        "R",
+        ["x", "y"],
+        [
+            (("a", "b"), "e1", 0.5),
+            (("b", "c"), "e2", 0.5),
+            (("c", "a"), "e3", 0.5),
+            (("a", "c"), "e4", 0.2),
+            (("c", "d"), "e5", 0.4),
+        ],
+    )
+    program = transitive_closure_program()
+    probabilities = benchmark(lambda: pdb.datalog_probabilities(program))
+    rows = [f"{t['x']} {t['y']}   Pr = {p:.4f}" for t, p in sorted(probabilities.items(), key=lambda kv: str(kv[0]))]
+    report("Section 8: probabilistic datalog (reachability probabilities)", rows)
+    assert all(0.0 <= p <= 1.0 for p in probabilities.values())
+
+
+def test_sec8_condition_provenance_then_fuzzy(benchmark):
+    """Compute PosBool(X) conditions once, then specialize to the fuzzy lattice."""
+    database = figure7_database(FuzzySemiring())
+    relation = database["R"]
+    for index, tup in enumerate(sorted(relation.support, key=str)):
+        relation.set(tup, [1.0, 0.75, 0.5, 0.25, 0.125][index])
+    program = figure7_program()
+
+    def pipeline():
+        provenance = lattice_condition_provenance(program, database)
+        from repro.datalog import ground_program
+
+        ground = ground_program(program, database)
+        valuation = {
+            provenance.edb_ids[atom]: ground.edb_annotation(atom) for atom in ground.edb_atoms
+        }
+        return provenance.evaluate(FuzzySemiring(), valuation)
+
+    values = benchmark(pipeline)
+    assert all(0.0 <= v <= 1.0 for v in values.values())

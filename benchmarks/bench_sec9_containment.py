@@ -1,0 +1,68 @@
+"""T6 / Section 9: conjunctive-query containment under K-relation semantics."""
+
+from conftest import report
+
+from repro.algebra import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    contained_in_semiring,
+    cq_contained_set,
+    ucq_contained_set,
+)
+from repro.semirings import FuzzySemiring, NaturalsSemiring, PosBoolSemiring
+
+Q_SPECIFIC = ConjunctiveQuery.parse("Q(x) :- R(x, x)")
+Q_GENERAL = ConjunctiveQuery.parse("Q(x) :- R(x, y)")
+Q_DOUBLE = ConjunctiveQuery.parse("Q(x) :- R(x, y), R(x, z)")
+Q_TWO_STEP = ConjunctiveQuery.parse("Q(x, y) :- R(x, z), R(z, y)")
+Q_ONE_STEP = ConjunctiveQuery.parse("Q(x, y) :- R(x, y)")
+
+
+def test_sec9_chandra_merlin_containment(benchmark):
+    def run():
+        return (
+            cq_contained_set(Q_SPECIFIC, Q_GENERAL),
+            cq_contained_set(Q_GENERAL, Q_SPECIFIC),
+            ucq_contained_set(Q_TWO_STEP, UnionOfConjunctiveQueries([Q_ONE_STEP, Q_TWO_STEP])),
+        )
+
+    results = benchmark(run)
+    assert results == (True, False, True)
+
+
+def test_sec9_theorem92_lattice_containment(benchmark):
+    """For distributive lattices, ⊑_K is decided via the set-semantics procedure."""
+
+    def run():
+        rows = []
+        for lattice in (PosBoolSemiring(), FuzzySemiring()):
+            forward = contained_in_semiring(Q_SPECIFIC, Q_GENERAL, lattice)
+            backward = contained_in_semiring(Q_GENERAL, Q_SPECIFIC, lattice)
+            rows.append((lattice.name, forward, backward))
+        return rows
+
+    rows = benchmark(run)
+    for name, forward, backward in rows:
+        assert forward is True and backward is False
+    report(
+        "Theorem 9.2: q_specific ⊑_K q_general iff ⊑_B (distributive lattices K)",
+        [f"{name}: forward={forward}, backward={backward}" for name, forward, backward in rows],
+    )
+
+
+def test_sec9_bag_containment_differs_from_set(benchmark):
+    """Set-equivalent queries need not be bag-contained (randomized refutation)."""
+
+    def run():
+        set_equivalent = cq_contained_set(Q_DOUBLE, Q_GENERAL) and cq_contained_set(
+            Q_GENERAL, Q_DOUBLE
+        )
+        bag_contained = contained_in_semiring(Q_DOUBLE, Q_GENERAL, NaturalsSemiring(), trials=40)
+        return set_equivalent, bag_contained
+
+    set_equivalent, bag_contained = benchmark(run)
+    assert set_equivalent is True and bag_contained is False
+    report(
+        "Section 9: set vs bag containment for Q(x):-R(x,y),R(x,z) vs Q(x):-R(x,y)",
+        [f"equivalent under B: {set_equivalent}", f"contained under N: {bag_contained}"],
+    )

@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_figN_*.py`` regenerates the corresponding figure of the paper:
+the benchmarked callable returns the reproduced rows, which are printed once
+(per benchmark) in the same shape the paper reports, and asserted against the
+expected values so a benchmark run doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+_printed: set[str] = set()
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Print a reproduced table exactly once per benchmark session."""
+    if title in _printed:
+        return
+    _printed.add(title)
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(f"  {line}")

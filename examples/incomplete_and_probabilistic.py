@@ -1,0 +1,83 @@
+"""Incomplete and probabilistic sensor data, queried with one engine.
+
+Scenario: a deployment of sensors reports readings, but some reports are
+unreliable.  We model the same data twice:
+
+1. as an *incomplete database* (a Boolean c-table): each doubtful reading is
+   guarded by a condition variable, and queries return conditions that say
+   exactly in which possible worlds an answer holds (Figures 1-2);
+2. as a *probabilistic database*: each doubtful reading has a probability,
+   and queries return exact answer probabilities (Figure 4), including a
+   recursive "connected through working links" datalog query (Section 8).
+
+Run with:  python examples/incomplete_and_probabilistic.py
+"""
+
+from repro import Q
+from repro.incomplete import CTable, certain_answers, ctable_database, possible_answers
+from repro.probabilistic import ProbabilisticDatabase
+from repro.workloads import transitive_closure_program
+
+
+def incomplete_view() -> None:
+    print("== Incomplete view: which rooms are too warm? ==")
+    readings = CTable(["room", "status"])
+    readings.add(("server-room", "hot"), True)           # trusted reading
+    readings.add(("lab", "hot"), "flaky_sensor_7")        # only if sensor 7 is right
+    readings.add(("lab", "ok"), "maintenance_done")       # only if maintenance happened
+    readings.add(("office", "ok"), True)
+
+    query = Q.relation("Readings").where_eq("status", "hot").project("room")
+    database = ctable_database({"Readings": readings})
+    result = query.evaluate(database)
+    print(result.to_table())
+    print("certain answers:", sorted(str(t) for t in certain_answers(query, readings, "Readings")))
+    print("possible answers:", sorted(str(t) for t in possible_answers(query, readings, "Readings")))
+    print()
+
+
+def probabilistic_view() -> None:
+    print("== Probabilistic view: alert probability and network reachability ==")
+    pdb = ProbabilisticDatabase()
+    pdb.add_relation(
+        "Readings",
+        ["room", "status"],
+        [
+            (("server-room", "hot"), "r1", 0.95),
+            (("lab", "hot"), "r2", 0.40),
+            (("office", "hot"), "r3", 0.05),
+        ],
+    )
+    pdb.add_relation(
+        "Link",
+        ["src", "dst"],
+        [
+            (("gateway", "switch-a"), "l1", 0.9),
+            (("switch-a", "server-room"), "l2", 0.8),
+            (("gateway", "switch-b"), "l3", 0.5),
+            (("switch-b", "server-room"), "l4", 0.5),
+            (("switch-a", "switch-b"), "l5", 0.7),
+        ],
+    )
+
+    hot_rooms = Q.relation("Readings").where_eq("status", "hot").project("room")
+    print("P(room is hot):")
+    for tup, probability in sorted(pdb.query_probabilities(hot_rooms).items(), key=lambda kv: str(kv[0])):
+        print(f"  {tup['room']}: {probability:.3f}")
+    print()
+
+    reachability = transitive_closure_program(edge_relation="Link", output="Reach")
+    print("P(gateway can reach a node through working links) -- recursive datalog over P(Ω):")
+    probabilities = pdb.datalog_probabilities(reachability)
+    for tup, probability in sorted(probabilities.items(), key=lambda kv: str(kv[0])):
+        if tup["x"] == "gateway":
+            print(f"  gateway ~> {tup['y']}: {probability:.4f}")
+
+
+def main() -> None:
+    incomplete_view()
+    probabilistic_view()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""repro -- a reproduction of "Provenance Semirings" (Green, Karvounarakis & Tannen, PODS 2007).
+
+The library provides K-relations (relations annotated with elements of a
+commutative semiring), the positive relational algebra and datalog over
+them, the provenance semirings ``N[X]`` and ``N∞[[X]]``, incomplete and
+probabilistic database frontends, and query containment machinery.
+
+Quickstart::
+
+    from repro import BooleanSemiring, Database, Q
+
+    db = Database(BooleanSemiring())
+    db.create("R", ["a", "b"], [("1", "2"), ("2", "3")])
+    result = Q.relation("R").project("a").evaluate(db)
+"""
+
+from repro.errors import (
+    ContainmentError,
+    DatalogError,
+    DivergenceError,
+    GroundingError,
+    InvalidAnnotationError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SemiringError,
+)
+from repro.relations import (
+    Database,
+    KRelation,
+    Schema,
+    TaggedDatabase,
+    Tup,
+    abstractly_tag,
+    abstractly_tag_database,
+)
+from repro.semirings import (
+    INFINITY,
+    BooleanSemiring,
+    BoolExpr,
+    CompletedNaturalsSemiring,
+    EventSemiring,
+    EventSpace,
+    FormalPowerSeries,
+    FuzzySemiring,
+    Monomial,
+    NatInf,
+    NaturalsSemiring,
+    Polynomial,
+    PolynomialSemiring,
+    PosBoolSemiring,
+    PowerSeriesSemiring,
+    ProductSemiring,
+    ProvenancePolynomialSemiring,
+    Semiring,
+    SemiringHomomorphism,
+    TropicalSemiring,
+    ViterbiSemiring,
+    WhyProvenanceSemiring,
+    WitnessWhySemiring,
+    available_semirings,
+    get_semiring,
+    polynomial_evaluation,
+    series_evaluation,
+)
+from repro.algebra import (
+    ConjunctiveQuery,
+    Q,
+    Query,
+    UnionOfConjunctiveQueries,
+    contained_in_semiring,
+    cq_contained_set,
+    factorized_evaluate,
+    ucq_contained_set,
+    verify_factorization,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "SemiringError",
+    "InvalidAnnotationError",
+    "SchemaError",
+    "QueryError",
+    "DatalogError",
+    "GroundingError",
+    "DivergenceError",
+    "ContainmentError",
+    "ParseError",
+    # relations
+    "Tup",
+    "Schema",
+    "KRelation",
+    "Database",
+    "TaggedDatabase",
+    "abstractly_tag",
+    "abstractly_tag_database",
+    # semirings
+    "Semiring",
+    "BooleanSemiring",
+    "NaturalsSemiring",
+    "CompletedNaturalsSemiring",
+    "NatInf",
+    "INFINITY",
+    "TropicalSemiring",
+    "FuzzySemiring",
+    "ViterbiSemiring",
+    "PosBoolSemiring",
+    "BoolExpr",
+    "WhyProvenanceSemiring",
+    "WitnessWhySemiring",
+    "EventSemiring",
+    "EventSpace",
+    "Monomial",
+    "Polynomial",
+    "PolynomialSemiring",
+    "ProvenancePolynomialSemiring",
+    "FormalPowerSeries",
+    "PowerSeriesSemiring",
+    "ProductSemiring",
+    "SemiringHomomorphism",
+    "polynomial_evaluation",
+    "series_evaluation",
+    "get_semiring",
+    "available_semirings",
+    # algebra
+    "Q",
+    "Query",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "cq_contained_set",
+    "ucq_contained_set",
+    "contained_in_semiring",
+    "factorized_evaluate",
+    "verify_factorization",
+]

@@ -1,0 +1,61 @@
+"""Positive relational algebra on K-relations (Definition 3.2) and Section 9 containment."""
+
+from repro.algebra import operators, predicates
+from repro.algebra.ast import (
+    EmptyRelation,
+    Join,
+    Project,
+    Q,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.algebra.containment import (
+    ContainmentWitness,
+    check_containment_on_instance,
+    contained_in_semiring,
+    cq_contained_set,
+    ucq_contained_set,
+)
+from repro.algebra.factorization import (
+    FactorizationResult,
+    evaluate_provenance,
+    factorized_evaluate,
+    provenance_of_query,
+    verify_factorization,
+)
+from repro.algebra.identities import (
+    check_selection_projection_identities,
+    check_union_join_identities,
+)
+
+__all__ = [
+    "operators",
+    "predicates",
+    "Q",
+    "Query",
+    "RelationRef",
+    "EmptyRelation",
+    "Union",
+    "Project",
+    "Select",
+    "Join",
+    "Rename",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "cq_contained_set",
+    "ucq_contained_set",
+    "contained_in_semiring",
+    "check_containment_on_instance",
+    "ContainmentWitness",
+    "FactorizationResult",
+    "provenance_of_query",
+    "evaluate_provenance",
+    "factorized_evaluate",
+    "verify_factorization",
+    "check_union_join_identities",
+    "check_selection_projection_identities",
+]

@@ -1,0 +1,243 @@
+"""A small query AST and fluent builder for positive-algebra queries.
+
+Queries built from these nodes are *semiring-generic*: the same query object
+can be evaluated against databases annotated in any commutative semiring,
+which is what makes the factorization experiments (Theorem 4.3) and the
+cross-semiring benchmarks possible.
+
+The canonical example -- the query ``q`` used throughout Section 2 of the
+paper::
+
+    q(R) = π_ac( π_ab R ⋈ π_bc R  ∪  π_ac R ⋈ π_bc R )
+
+is expressed as::
+
+    R = Q.relation("R")
+    q = (R.project("a", "b").join(R.project("b", "c"))
+          .union(R.project("a", "c").join(R.project("b", "c")))
+          .project("a", "c"))
+
+and is available ready-made from :mod:`repro.workloads.paper_instances`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.algebra import operators
+from repro.algebra.predicates import Predicate, attr_eq, attr_eq_const
+from repro.errors import QueryError
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.relations.schema import Schema
+from repro.relations.tuples import Tup
+
+__all__ = [
+    "Query",
+    "RelationRef",
+    "Union",
+    "Project",
+    "Select",
+    "Join",
+    "Rename",
+    "EmptyRelation",
+    "Q",
+]
+
+
+class Query:
+    """Base class of positive-algebra query expressions.
+
+    Subclasses implement :meth:`evaluate`; the fluent combinators defined
+    here (``union``, ``project``, ``select``, ``join``, ``rename``) build
+    larger queries out of smaller ones.
+    """
+
+    def evaluate(self, database: Database) -> KRelation:
+        """Evaluate the query against ``database`` and return a K-relation."""
+        raise NotImplementedError
+
+    def __call__(self, database: Database) -> KRelation:
+        return self.evaluate(database)
+
+    # -- combinators -------------------------------------------------------------
+    def union(self, other: "Query") -> "Union":
+        """Union with another query (annotations added)."""
+        return Union(self, other)
+
+    def project(self, *attributes: str) -> "Project":
+        """Project onto the listed attributes (annotations summed)."""
+        if len(attributes) == 1 and not isinstance(attributes[0], str):
+            attributes = tuple(attributes[0])
+        return Project(self, attributes)
+
+    def select(self, predicate: Predicate, *, description: str | None = None) -> "Select":
+        """Select by a {0,1}-valued predicate (annotations multiplied)."""
+        return Select(self, predicate, description=description)
+
+    def where_eq(self, attribute: str, value: Any) -> "Select":
+        """Shorthand for selection on attribute = constant."""
+        return Select(
+            self, attr_eq_const(attribute, value), description=f"{attribute} = {value!r}"
+        )
+
+    def where_attrs_equal(self, left: str, right: str) -> "Select":
+        """Shorthand for selection on attribute = attribute."""
+        return Select(self, attr_eq(left, right), description=f"{left} = {right}")
+
+    def join(self, other: "Query") -> "Join":
+        """Natural join with another query (annotations multiplied)."""
+        return Join(self, other)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Rename":
+        """Rename attributes by the given bijection."""
+        return Rename(self, dict(mapping))
+
+    # -- inspection ----------------------------------------------------------------
+    def relation_names(self) -> frozenset[str]:
+        """Names of base relations referenced by the query."""
+        names: set[str] = set()
+        for child in self.children():
+            names |= child.relation_names()
+        return frozenset(names)
+
+    def children(self) -> Sequence["Query"]:
+        """Direct sub-queries (empty for leaves)."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"<Query {self}>"
+
+
+class RelationRef(Query):
+    """A reference to a named base relation of the database."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, database: Database) -> KRelation:
+        return database.relation(self.name)
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class EmptyRelation(Query):
+    """The empty relation over a fixed schema (the ∅ of Definition 3.2)."""
+
+    def __init__(self, schema: Schema | Iterable[str]):
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+
+    def evaluate(self, database: Database) -> KRelation:
+        return operators.empty(database.semiring, self.schema)
+
+    def __str__(self) -> str:
+        return f"∅{self.schema}"
+
+
+class Union(Query):
+    """Union of two union-compatible sub-queries."""
+
+    def __init__(self, left: Query, right: Query):
+        self.left, self.right = left, right
+
+    def evaluate(self, database: Database) -> KRelation:
+        return operators.union(self.left.evaluate(database), self.right.evaluate(database))
+
+    def children(self) -> Sequence[Query]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∪ {self.right})"
+
+
+class Project(Query):
+    """Projection of a sub-query onto a list of attributes."""
+
+    def __init__(self, child: Query, attributes: Iterable[str]):
+        self.child = child
+        self.attributes = tuple(attributes)
+        if not self.attributes:
+            raise QueryError("projection needs at least one attribute")
+
+    def evaluate(self, database: Database) -> KRelation:
+        return operators.project(self.child.evaluate(database), self.attributes)
+
+    def children(self) -> Sequence[Query]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"π_{{{','.join(self.attributes)}}}({self.child})"
+
+
+class Select(Query):
+    """Selection of a sub-query by a {0,1}-valued predicate."""
+
+    def __init__(self, child: Query, predicate: Callable[[Tup], Any], *, description: str | None = None):
+        self.child = child
+        self.predicate = predicate
+        self.description = description or getattr(predicate, "__name__", "P")
+
+    def evaluate(self, database: Database) -> KRelation:
+        return operators.select(self.child.evaluate(database), self.predicate)
+
+    def children(self) -> Sequence[Query]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"σ_[{self.description}]({self.child})"
+
+
+class Join(Query):
+    """Natural join of two sub-queries."""
+
+    def __init__(self, left: Query, right: Query):
+        self.left, self.right = left, right
+
+    def evaluate(self, database: Database) -> KRelation:
+        return operators.join(self.left.evaluate(database), self.right.evaluate(database))
+
+    def children(self) -> Sequence[Query]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ⋈ {self.right})"
+
+
+class Rename(Query):
+    """Attribute renaming of a sub-query."""
+
+    def __init__(self, child: Query, mapping: Mapping[str, str]):
+        self.child = child
+        self.mapping = dict(mapping)
+
+    def evaluate(self, database: Database) -> KRelation:
+        return operators.rename(self.child.evaluate(database), self.mapping)
+
+    def children(self) -> Sequence[Query]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        renames = ", ".join(f"{old}→{new}" for old, new in self.mapping.items())
+        return f"ρ_[{renames}]({self.child})"
+
+
+class _QueryBuilder:
+    """Entry point for the fluent query API (exported as ``Q``)."""
+
+    @staticmethod
+    def relation(name: str) -> RelationRef:
+        """Reference a base relation by name."""
+        return RelationRef(name)
+
+    @staticmethod
+    def empty(schema: Schema | Iterable[str]) -> EmptyRelation:
+        """The empty relation over ``schema``."""
+        return EmptyRelation(schema)
+
+
+#: Fluent query builder: ``Q.relation("R").project("a", "c")`` etc.
+Q = _QueryBuilder()

@@ -1,0 +1,228 @@
+"""Query containment with respect to K-relation semantics (Section 9).
+
+Definition 9.1: for a naturally ordered commutative semiring ``K`` and
+queries ``q1, q2`` over K-relations, ``q1 ⊑_K q2`` iff for every K-database
+``R`` and tuple ``t``, ``q1(R)(t) <= q2(R)(t)`` in K's natural order.  With
+``K = B`` this is the classical set-semantics containment, with ``K = N`` it
+is bag containment.
+
+Implemented procedures:
+
+* :func:`cq_contained_set` -- Chandra-Merlin: ``q1 ⊑_B q2`` iff there is a
+  homomorphism from ``q2`` into ``q1``;
+* :func:`ucq_contained_set` -- Sagiv-Yannakakis: each disjunct of ``q1`` must
+  be contained (set-semantics) in some disjunct of ``q2``;
+* :func:`contained_in_semiring` -- Theorem 9.2: when ``K`` is a distributive
+  lattice, UCQ containment under K equals containment under ``B``; for other
+  naturally ordered semirings the function falls back to an explicit
+  (sound but necessarily incomplete) search over randomly generated
+  K-databases and reports what it found;
+* :func:`check_containment_on_instance` -- test ``q1(R)(t) <= q2(R)(t)`` on a
+  concrete database, used both by the fallback search and by the tests that
+  validate Theorem 9.2 in both directions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.algebra.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.errors import ContainmentError
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.relations.tuples import Tup
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BooleanSemiring
+
+__all__ = [
+    "cq_contained_set",
+    "ucq_contained_set",
+    "contained_in_semiring",
+    "check_containment_on_instance",
+    "ContainmentWitness",
+]
+
+UCQ = UnionOfConjunctiveQueries
+
+
+def _as_ucq(query: ConjunctiveQuery | UnionOfConjunctiveQueries) -> UnionOfConjunctiveQueries:
+    if isinstance(query, ConjunctiveQuery):
+        return UnionOfConjunctiveQueries([query], name=query.name)
+    return query
+
+
+def cq_contained_set(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Chandra-Merlin test: ``q1 ⊑_B q2`` iff a homomorphism ``q2 -> q1`` exists."""
+    return q2.find_homomorphism(q1) is not None
+
+
+def ucq_contained_set(
+    q1: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    q2: ConjunctiveQuery | UnionOfConjunctiveQueries,
+) -> bool:
+    """Set-semantics containment of unions of conjunctive queries.
+
+    ``q1 ⊑_B q2`` iff every disjunct of ``q1`` is contained in some disjunct
+    of ``q2`` (Sagiv-Yannakakis).
+    """
+    u1, u2 = _as_ucq(q1), _as_ucq(q2)
+    return all(
+        any(cq_contained_set(d1, d2) for d2 in u2.disjuncts) for d1 in u1.disjuncts
+    )
+
+
+@dataclass
+class ContainmentWitness:
+    """A counterexample to a containment claim found by instance search."""
+
+    database: Database
+    tuple: Tup
+    left_annotation: object
+    right_annotation: object
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ContainmentWitness(tuple={self.tuple}, "
+            f"left={self.left_annotation!r}, right={self.right_annotation!r})"
+        )
+
+
+def check_containment_on_instance(
+    q1: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    q2: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    database: Database,
+) -> ContainmentWitness | None:
+    """Check ``q1(db)(t) <= q2(db)(t)`` for every tuple; return a violation or None."""
+    u1, u2 = _as_ucq(q1), _as_ucq(q2)
+    semiring = database.semiring
+    result1, result2 = u1.evaluate(database), u2.evaluate(database)
+    for tup in set(result1.support) | set(result2.support):
+        left = result1.annotation(tup)
+        right = result2.annotation(tup)
+        if not semiring.leq(left, right):
+            return ContainmentWitness(database, tup, left, right)
+    return None
+
+
+def _relation_signatures(
+    queries: Iterable[UnionOfConjunctiveQueries],
+) -> dict[str, int]:
+    """Collect relation arities used by the queries (must be consistent)."""
+    arities: dict[str, int] = {}
+    for query in queries:
+        for disjunct in query.disjuncts:
+            for atom in disjunct.body:
+                existing = arities.get(atom.relation)
+                if existing is None:
+                    arities[atom.relation] = atom.arity
+                elif existing != atom.arity:
+                    raise ContainmentError(
+                        f"relation {atom.relation} used with arities {existing} and {atom.arity}"
+                    )
+    return arities
+
+
+def random_databases(
+    queries: Sequence[ConjunctiveQuery | UnionOfConjunctiveQueries],
+    semiring: Semiring,
+    annotation_pool: Sequence[object],
+    *,
+    trials: int = 25,
+    domain_size: int = 3,
+    max_tuples: int = 6,
+    seed: int = 0,
+) -> Iterable[Database]:
+    """Generate small random K-databases over the relations the queries use.
+
+    Used by the sound-but-incomplete containment search and by the tests that
+    cross-validate Theorem 9.2.
+    """
+    ucqs = [_as_ucq(q) for q in queries]
+    arities = _relation_signatures(ucqs)
+    rng = random.Random(seed)
+    domain = [f"d{i}" for i in range(domain_size)]
+    for _ in range(trials):
+        database = Database(semiring)
+        for relation_name, arity in arities.items():
+            relation = database.create(
+                relation_name, [f"a{i + 1}" for i in range(arity)]
+            )
+            for _ in range(rng.randint(0, max_tuples)):
+                values = tuple(rng.choice(domain) for _ in range(arity))
+                annotation = rng.choice(list(annotation_pool))
+                relation.add(values, annotation)
+        yield database
+
+
+def contained_in_semiring(
+    q1: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    q2: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    semiring: Semiring,
+    *,
+    annotation_pool: Sequence[object] | None = None,
+    trials: int = 25,
+    seed: int = 0,
+) -> bool:
+    """Decide (or test) ``q1 ⊑_K q2`` for UCQs.
+
+    When ``K`` is a distributive lattice, Theorem 9.2 applies and the answer
+    is exactly the decidable set-semantics containment.  When ``K`` is ``B``
+    the same procedure applies directly.  Otherwise the semiring's natural
+    order is checked on randomly generated K-databases: a ``False`` answer is
+    then definitive (a counterexample was found), while ``True`` only means
+    "no counterexample found in ``trials`` random instances" and the caller
+    is expected to treat it as evidence, not proof.  This mirrors the open
+    status of bag containment discussed in the paper's conclusion.
+    """
+    if isinstance(semiring, BooleanSemiring) or semiring.is_distributive_lattice:
+        return ucq_contained_set(q1, q2)
+    if annotation_pool is None:
+        annotation_pool = _default_annotation_pool(semiring)
+    for database in random_databases(
+        [q1, q2], semiring, annotation_pool, trials=trials, seed=seed
+    ):
+        if check_containment_on_instance(q1, q2, database) is not None:
+            return False
+    return True
+
+
+def _default_annotation_pool(semiring: Semiring) -> list[object]:
+    """A small pool of sample annotations used for randomized testing."""
+    pool = [semiring.one()]
+    try:
+        pool.append(semiring.from_int(2))
+        pool.append(semiring.from_int(3))
+    except Exception:  # pragma: no cover - non-numeric semirings
+        pass
+    # Deduplicate while preserving order.
+    seen = []
+    for value in pool:
+        if value not in seen:
+            seen.append(value)
+    return seen
+
+
+def containment_equivalence_counterexample(
+    q1: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    q2: ConjunctiveQuery | UnionOfConjunctiveQueries,
+    semiring: Semiring,
+    *,
+    annotation_pool: Sequence[object],
+    trials: int = 50,
+    seed: int = 0,
+) -> ContainmentWitness | None:
+    """Search for a K-instance violating ``q1 ⊑_K q2``.
+
+    Helper used by the Theorem 9.2 tests: when the theorem applies and
+    ``q1 ⊑_B q2`` holds, this search must come back empty.
+    """
+    for database in random_databases(
+        [q1, q2], semiring, annotation_pool, trials=trials, seed=seed
+    ):
+        witness = check_containment_on_instance(q1, q2, database)
+        if witness is not None:
+            return witness
+    return None

@@ -1,0 +1,134 @@
+"""Checkers for the relational-algebra identities of Proposition 3.4.
+
+The proposition states that the following identities hold for the positive
+algebra on K-relations *iff* ``(K, +, ., 0, 1)`` is a commutative semiring:
+
+* union is associative, commutative, and has identity ∅;
+* join is associative, commutative, and distributes over union;
+* projections and selections commute with each other, with unions, and with
+  joins (where applicable);
+* ``σ_false(R) = ∅`` and ``σ_true(R) = R``.
+
+and -- deliberately -- does *not* include idempotence of union or self-join,
+which fail under bag semantics.
+
+The checkers below verify these identities on concrete relations; the test
+suite exercises them with hypothesis-generated relations over every shipped
+semiring (the "if" direction on samples) and shows that a non-semiring
+structure breaks them (the "only if" direction on an explicit example).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.algebra import operators
+from repro.algebra.predicates import Predicate, false, true
+from repro.relations.krelation import KRelation
+from repro.semirings.properties import PropertyReport
+
+__all__ = ["check_union_join_identities", "check_selection_projection_identities"]
+
+
+def check_union_join_identities(
+    r1: KRelation, r2: KRelation, r3: KRelation
+) -> PropertyReport:
+    """Check the union/join identities of Proposition 3.4 on three relations.
+
+    ``r1``, ``r2`` and ``r3`` must be union-compatible (same attribute set).
+    """
+    report = PropertyReport(r1.semiring.name)
+    union, join = operators.union, operators.join
+    empty = operators.empty(r1.semiring, r1.schema)
+
+    if not union(r1, r2).equal_to(union(r2, r1)):
+        report.add("union commutativity", "R1 ∪ R2 != R2 ∪ R1")
+    if not union(union(r1, r2), r3).equal_to(union(r1, union(r2, r3))):
+        report.add("union associativity", "(R1 ∪ R2) ∪ R3 != R1 ∪ (R2 ∪ R3)")
+    if not union(r1, empty).equal_to(r1):
+        report.add("union identity", "R1 ∪ ∅ != R1")
+
+    if not join(r1, r2).equal_to(join(r2, r1)):
+        report.add("join commutativity", "R1 ⋈ R2 != R2 ⋈ R1")
+    if not join(join(r1, r2), r3).equal_to(join(r1, join(r2, r3))):
+        report.add("join associativity", "(R1 ⋈ R2) ⋈ R3 != R1 ⋈ (R2 ⋈ R3)")
+    if not join(r1, union(r2, r3)).equal_to(union(join(r1, r2), join(r1, r3))):
+        report.add("join distributivity", "R1 ⋈ (R2 ∪ R3) != (R1 ⋈ R2) ∪ (R1 ⋈ R3)")
+    return report
+
+
+def check_selection_projection_identities(
+    r1: KRelation,
+    r2: KRelation,
+    *,
+    predicates: Sequence[Predicate] = (),
+    projection_attributes: Iterable[str] | None = None,
+) -> PropertyReport:
+    """Check the selection/projection identities of Proposition 3.4.
+
+    ``predicates`` are {0,1}-valued predicates applicable to ``r1``'s schema;
+    ``projection_attributes`` defaults to the full attribute list (a no-op
+    projection) so that the commutation checks remain applicable.
+    """
+    report = PropertyReport(r1.semiring.name)
+    select, project, union = operators.select, operators.project, operators.union
+    attributes = (
+        list(projection_attributes)
+        if projection_attributes is not None
+        else list(r1.schema.attributes)
+    )
+
+    if not select(r1, false).equal_to(operators.empty(r1.semiring, r1.schema)):
+        report.add("σ_false", "σ_false(R) != ∅")
+    if not select(r1, true).equal_to(r1):
+        report.add("σ_true", "σ_true(R) != R")
+
+    for predicate in predicates:
+        name = getattr(predicate, "__name__", "P")
+        # selections commute with each other
+        for other in predicates:
+            other_name = getattr(other, "__name__", "P'")
+            lhs = select(select(r1, predicate), other)
+            rhs = select(select(r1, other), predicate)
+            if not lhs.equal_to(rhs):
+                report.add("selection commutation", f"σ_{name} ∘ σ_{other_name}")
+        # selections commute with unions
+        if r1.schema.is_compatible_with(r2.schema):
+            lhs = select(union(r1, r2), predicate)
+            rhs = union(select(r1, predicate), select(r2, predicate))
+            if not lhs.equal_to(rhs):
+                report.add("selection over union", f"σ_{name}(R1 ∪ R2)")
+        # selection on preserved attributes commutes with projection
+        if _predicate_mentions_only(predicate, attributes, r1):
+            lhs = project(select(r1, predicate), attributes)
+            rhs = select(project(r1, attributes), predicate)
+            if not lhs.equal_to(rhs):
+                report.add("selection/projection commutation", f"σ_{name} vs π")
+
+    # projection commutes with union
+    if r1.schema.is_compatible_with(r2.schema):
+        lhs = project(union(r1, r2), attributes)
+        rhs = union(project(r1, attributes), project(r2, attributes))
+        if not lhs.equal_to(rhs):
+            report.add("projection over union", "π(R1 ∪ R2) != π(R1) ∪ π(R2)")
+    return report
+
+
+def _predicate_mentions_only(
+    predicate: Callable, attributes: Iterable[str], relation: KRelation
+) -> bool:
+    """Heuristically decide whether a predicate only reads ``attributes``.
+
+    The check evaluates the predicate on projected tuples and reports False
+    when that raises ``KeyError`` -- good enough for the equality predicates
+    used in the identity tests.
+    """
+    kept = set(attributes)
+    for tup in relation.support:
+        try:
+            predicate(tup.restrict(kept & tup.attributes))
+        except KeyError:
+            return False
+        except Exception:
+            return False
+    return True

@@ -1,0 +1,150 @@
+"""The positive relational algebra on K-relations (Definition 3.2).
+
+Each operator is implemented exactly as in the paper:
+
+* ``empty`` -- the all-zero relation;
+* ``union`` -- ``(R1 ∪ R2)(t) = R1(t) + R2(t)``;
+* ``project`` -- ``(π_V R)(t) = Σ_{t = t' on V, R(t') ≠ 0} R(t')``;
+* ``select`` -- ``(σ_P R)(t) = R(t) · P(t)`` with ``P(t) ∈ {0, 1}``;
+* ``join`` -- ``(R1 ⋈ R2)(t) = R1(t|U1) · R2(t|U2)``;
+* ``rename`` -- ``(ρ_β R)(t) = R(t ∘ β)``.
+
+All operators preserve finite support (Proposition 3.3), which here is
+automatic because only support tuples are ever enumerated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import QueryError, SchemaError
+from repro.relations.krelation import KRelation
+from repro.relations.schema import Schema
+from repro.relations.tuples import Tup
+from repro.semirings.base import Semiring
+
+__all__ = ["empty", "union", "project", "select", "join", "rename", "intersection"]
+
+
+def _require_same_semiring(left: KRelation, right: KRelation) -> Semiring:
+    if left.semiring.name != right.semiring.name:
+        raise QueryError(
+            f"cannot combine relations over different semirings "
+            f"({left.semiring.name} vs {right.semiring.name})"
+        )
+    return left.semiring
+
+
+def empty(semiring: Semiring, schema: Schema | Iterable[str]) -> KRelation:
+    """The empty K-relation over ``schema`` (every tuple annotated 0)."""
+    return KRelation(semiring, schema)
+
+
+def union(left: KRelation, right: KRelation) -> KRelation:
+    """Union of two union-compatible relations; annotations are added."""
+    semiring = _require_same_semiring(left, right)
+    if not left.schema.is_compatible_with(right.schema):
+        raise SchemaError(
+            f"union requires identical attribute sets: {left.schema} vs {right.schema}"
+        )
+    result = KRelation(semiring, left.schema)
+    for tup, annotation in left.items():
+        result.add(tup, annotation)
+    for tup, annotation in right.items():
+        result.add(tup, annotation)
+    return result
+
+
+def project(relation: KRelation, attributes: Iterable[str]) -> KRelation:
+    """Projection onto ``attributes``; annotations of coinciding tuples are added."""
+    target_schema = relation.schema.project(attributes)
+    semiring = relation.semiring
+    sums: dict[Tup, Any] = {}
+    for tup, annotation in relation.items():
+        projected = tup.restrict(target_schema.attributes)
+        if projected in sums:
+            sums[projected] = semiring.add(sums[projected], annotation)
+        else:
+            sums[projected] = annotation
+    result = KRelation(semiring, target_schema)
+    for tup, annotation in sums.items():
+        result.set(tup, annotation)
+    return result
+
+
+def select(relation: KRelation, predicate: Callable[[Tup], Any]) -> KRelation:
+    """Selection: multiply each annotation by the {0, 1} value of the predicate.
+
+    Predicates may return Python booleans (the usual case) or the semiring's
+    own 0/1 values; anything else is rejected to respect Definition 3.2's
+    requirement that predicates are {0, 1}-valued.
+    """
+    semiring = relation.semiring
+    result = KRelation(semiring, relation.schema)
+    zero, one = semiring.zero(), semiring.one()
+    for tup, annotation in relation.items():
+        outcome = predicate(tup)
+        if isinstance(outcome, bool):
+            factor = one if outcome else zero
+        elif outcome == zero or outcome == one:
+            factor = outcome
+        else:
+            raise QueryError(
+                f"selection predicate returned {outcome!r}, expected a {{0, 1}} value"
+            )
+        value = semiring.mul(annotation, factor)
+        if not semiring.is_zero(value):
+            result.set(tup, value)
+    return result
+
+
+def join(left: KRelation, right: KRelation) -> KRelation:
+    """Natural join; annotations of joinable tuples are multiplied.
+
+    The implementation hashes the right-hand relation on the shared
+    attributes, so the cost is proportional to the number of joinable pairs
+    rather than the full cross product.
+    """
+    semiring = _require_same_semiring(left, right)
+    shared = sorted(left.schema.attribute_set & right.schema.attribute_set)
+    result_schema = left.schema.join(right.schema)
+    result = KRelation(semiring, result_schema)
+
+    index: dict[tuple, list[tuple[Tup, Any]]] = defaultdict(list)
+    for tup, annotation in right.items():
+        key = tuple(tup[a] for a in shared)
+        index[key].append((tup, annotation))
+
+    for tup_left, annotation_left in left.items():
+        key = tuple(tup_left[a] for a in shared)
+        for tup_right, annotation_right in index.get(key, ()):
+            merged = tup_left.merge(tup_right)
+            result.add(merged, semiring.mul(annotation_left, annotation_right))
+    return result
+
+
+def intersection(left: KRelation, right: KRelation) -> KRelation:
+    """Intersection = natural join of union-compatible relations."""
+    if not left.schema.is_compatible_with(right.schema):
+        raise SchemaError("intersection requires identical attribute sets")
+    return join(left, right)
+
+
+def rename(relation: KRelation, mapping: Mapping[str, str]) -> KRelation:
+    """Rename attributes by the bijection ``mapping`` (old name -> new name)."""
+    old_names = set(mapping)
+    unknown = old_names - relation.schema.attribute_set
+    if unknown:
+        raise SchemaError(f"cannot rename unknown attributes {sorted(unknown)}")
+    new_names = list(mapping.values())
+    if len(set(new_names)) != len(new_names):
+        raise SchemaError(f"renaming {dict(mapping)} is not injective")
+    clashes = (set(new_names) & relation.schema.attribute_set) - old_names
+    if clashes:
+        raise SchemaError(f"renaming collides with existing attributes {sorted(clashes)}")
+
+    result = KRelation(relation.semiring, relation.schema.rename(mapping))
+    for tup, annotation in relation.items():
+        result.set(tup.rename(mapping), annotation)
+    return result

@@ -1,0 +1,123 @@
+"""Selection predicates for the positive algebra.
+
+Definition 3.2 leaves open which ``{0, 1}``-valued functions may be used as
+selection predicates, requiring only that the constant predicates ``true``
+and ``false`` exist.  This module provides the standard repertoire --
+attribute/attribute and attribute/constant equality, comparisons, conjunction
+and disjunction -- each as a callable returning ``True``/``False`` (which the
+operators convert to the semiring's ``1``/``0``).
+
+Note that *negation of predicates on values* is allowed (it does not involve
+the annotations), only the relational difference operator is excluded from
+the positive algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.relations.tuples import Tup
+
+__all__ = [
+    "Predicate",
+    "true",
+    "false",
+    "attr_eq",
+    "attr_eq_const",
+    "attr_neq_const",
+    "comparison",
+    "conjunction",
+    "disjunction",
+    "negation",
+]
+
+Predicate = Callable[[Tup], bool]
+
+
+def true(_: Tup) -> bool:
+    """The constantly-true predicate (required by Definition 3.2)."""
+    return True
+
+
+def false(_: Tup) -> bool:
+    """The constantly-false predicate (required by Definition 3.2)."""
+    return False
+
+
+def attr_eq(left: str, right: str) -> Predicate:
+    """Equality of two attributes: ``t[left] == t[right]``."""
+
+    def predicate(tup: Tup) -> bool:
+        return tup[left] == tup[right]
+
+    predicate.__name__ = f"eq_{left}_{right}"
+    return predicate
+
+
+def attr_eq_const(attribute: str, constant: Any) -> Predicate:
+    """Equality of an attribute with a constant: ``t[attribute] == constant``."""
+
+    def predicate(tup: Tup) -> bool:
+        return tup[attribute] == constant
+
+    predicate.__name__ = f"eq_{attribute}_const"
+    return predicate
+
+
+def attr_neq_const(attribute: str, constant: Any) -> Predicate:
+    """Disequality with a constant (a value-level predicate, still positive RA)."""
+
+    def predicate(tup: Tup) -> bool:
+        return tup[attribute] != constant
+
+    predicate.__name__ = f"neq_{attribute}_const"
+    return predicate
+
+
+def comparison(attribute: str, operator: str, value: Any) -> Predicate:
+    """A comparison predicate ``t[attribute] <op> value`` for <, <=, >, >=, ==, !=."""
+    operators: dict[str, Callable[[Any, Any], bool]] = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+    compare = operators[operator]
+
+    def predicate(tup: Tup) -> bool:
+        return compare(tup[attribute], value)
+
+    predicate.__name__ = f"cmp_{attribute}_{operator}"
+    return predicate
+
+
+def conjunction(*predicates: Predicate) -> Predicate:
+    """The conjunction of several predicates."""
+
+    def predicate(tup: Tup) -> bool:
+        return all(p(tup) for p in predicates)
+
+    predicate.__name__ = "conjunction"
+    return predicate
+
+
+def disjunction(*predicates: Predicate) -> Predicate:
+    """The disjunction of several predicates."""
+
+    def predicate(tup: Tup) -> bool:
+        return any(p(tup) for p in predicates)
+
+    predicate.__name__ = "disjunction"
+    return predicate
+
+
+def negation(inner: Predicate) -> Predicate:
+    """The complement of a value-level predicate."""
+
+    def predicate(tup: Tup) -> bool:
+        return not inner(tup)
+
+    predicate.__name__ = f"not_{getattr(inner, '__name__', 'predicate')}"
+    return predicate

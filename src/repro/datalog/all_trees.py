@@ -1,0 +1,177 @@
+"""Algorithm All-Trees (Figure 8 of the paper).
+
+All-Trees decides, for every output tuple of a datalog query, whether its
+provenance series is actually a *polynomial* of ``N[X]`` and computes that
+polynomial when the answer is positive; tuples with infinitely many
+derivation trees are reported with provenance ``infinity`` (the paper writes
+``P(t) <- infinity``).
+
+The paper's pseudo-code iterates a set ``T`` of derivation trees, moving a
+tuple into ``T-infinity`` as soon as some tree repeats a tuple along a root
+path or uses a ``T-infinity`` tuple.  The set of tuples classified infinite
+by that process is exactly the set of derivable tuples reachable from a
+cycle of the grounded dependency graph, and for the remaining tuples the sum
+``Σ_τ Π_{l ∈ fringe(τ)} l`` can be computed by structural recursion because
+their dependency sub-graph is acyclic.  This implementation therefore runs
+the cycle analysis first (on the grounded program) and then evaluates the
+finite tuples by memoized recursion -- the same output as the literal
+tree-set iteration, without materializing exponentially many trees.  The
+test-suite cross-checks the result against brute-force tree enumeration
+(:mod:`repro.datalog.derivations`) on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import DatalogError
+from repro.datalog.grounding import GroundAtom, GroundProgram, ground_program
+from repro.datalog.syntax import Program
+from repro.relations.database import Database
+from repro.semirings.base import Semiring
+from repro.semirings.numeric import INFINITY, NatInf
+from repro.semirings.polynomial import Polynomial
+
+__all__ = ["AllTreesResult", "all_trees", "default_edb_ids"]
+
+
+@dataclass
+class AllTreesResult:
+    """Output of the All-Trees algorithm.
+
+    ``polynomials`` maps each derivable IDB atom with finite provenance to
+    its provenance polynomial over the EDB tuple ids; ``infinite`` collects
+    the atoms whose provenance is not a polynomial (``P(t) = infinity`` in the
+    paper's notation).
+    """
+
+    ground: GroundProgram
+    edb_ids: Dict[GroundAtom, str]
+    polynomials: Dict[GroundAtom, Polynomial]
+    infinite: frozenset[GroundAtom]
+
+    def provenance(self, atom: GroundAtom) -> Polynomial | None:
+        """The provenance polynomial of ``atom``, or ``None`` when infinite."""
+        if atom in self.infinite:
+            return None
+        try:
+            return self.polynomials[atom]
+        except KeyError:
+            raise DatalogError(f"{atom} is not a derivable IDB atom") from None
+
+    def is_polynomial(self, atom: GroundAtom) -> bool:
+        """Whether the atom's provenance series is a polynomial."""
+        return atom not in self.infinite and atom in self.polynomials
+
+    def output_provenance(self) -> Dict[GroundAtom, Polynomial | None]:
+        """Provenance of the output predicate's atoms (``None`` marks infinity)."""
+        output = self.ground.program.output
+        result: Dict[GroundAtom, Polynomial | None] = {}
+        for atom in self.ground.output_atoms():
+            result[atom] = None if atom in self.infinite else self.polynomials[atom]
+        return result
+
+    def evaluate(self, semiring: Semiring, valuation: Mapping[str, object]) -> Dict[GroundAtom, object]:
+        """Evaluate every finite provenance polynomial in ``semiring``.
+
+        Atoms with infinite provenance evaluate to the semiring's top element
+        when one exists (matching the N-inf behaviour of Figure 7(b)); they
+        are skipped otherwise.
+        """
+        coerced = {k: semiring.coerce(v) for k, v in valuation.items()}
+        values: Dict[GroundAtom, object] = {}
+        for atom, polynomial in self.polynomials.items():
+            values[atom] = polynomial.evaluate(semiring, coerced)
+        if semiring.has_top:
+            for atom in self.infinite:
+                values[atom] = semiring.top()
+        return values
+
+
+def default_edb_ids(ground: GroundProgram, prefix: str = "t") -> Dict[GroundAtom, str]:
+    """Assign a deterministic tuple-id variable to every EDB fact."""
+    ids: Dict[GroundAtom, str] = {}
+    for index, atom in enumerate(
+        sorted(ground.edb_atoms, key=lambda a: (a.relation, tuple(map(str, a.values)))),
+        start=1,
+    ):
+        ids[atom] = f"{prefix}{index}"
+    return ids
+
+
+def all_trees(
+    program: Program | str,
+    database: Database,
+    *,
+    edb_ids: Mapping[GroundAtom, str] | None = None,
+) -> AllTreesResult:
+    """Run All-Trees: classify every derivable IDB atom and compute finite provenance.
+
+    ``edb_ids`` assigns tuple-id variable names to the EDB facts (defaults to
+    ``t1, t2, ...`` in a deterministic order); the provenance polynomials are
+    over these variables.
+    """
+    if isinstance(program, str):
+        program = Program.parse(program)
+    ground = ground_program(program, database)
+    ids = dict(edb_ids) if edb_ids is not None else default_edb_ids(ground)
+    missing = ground.edb_atoms - set(ids)
+    if missing:
+        raise DatalogError(f"edb_ids is missing ids for {len(missing)} EDB fact(s)")
+
+    infinite = ground.atoms_with_infinite_derivations() & ground.idb_atoms
+    polynomials: Dict[GroundAtom, Polynomial] = {}
+    cache: Dict[GroundAtom, Polynomial] = {}
+
+    def provenance_of(atom: GroundAtom) -> Polynomial:
+        if ground.is_edb(atom):
+            return Polynomial.var(ids[atom])
+        if atom in cache:
+            return cache[atom]
+        total = Polynomial.zero()
+        for rule in ground.rules_with_head(atom):
+            product = Polynomial.one()
+            for body_atom in rule.body:
+                product = product * provenance_of(body_atom)
+            total = total + product
+        cache[atom] = total
+        return total
+
+    for atom in ground.idb_atoms:
+        if atom in infinite:
+            continue
+        polynomials[atom] = provenance_of(atom)
+
+    return AllTreesResult(
+        ground=ground,
+        edb_ids=ids,
+        polynomials=polynomials,
+        infinite=frozenset(infinite),
+    )
+
+
+def bag_multiplicities(
+    program: Program | str, database: Database
+) -> Dict[GroundAtom, NatInf]:
+    """Datalog under bag semantics via All-Trees (the paper's Section 7 remark).
+
+    Every finite provenance polynomial is evaluated with all variables set to
+    the corresponding tuple multiplicity; infinite tuples get multiplicity
+    ``infinity``.  (Mumick-Shmueli-style evaluation as a corollary of
+    Theorem 6.4.)
+    """
+    result = all_trees(program, database)
+    valuation = {
+        result.edb_ids[atom]: NatInf.of(result.ground.edb_annotation(atom))
+        for atom in result.ground.edb_atoms
+    }
+    from repro.semirings.numeric import CompletedNaturalsSemiring
+
+    semiring = CompletedNaturalsSemiring()
+    multiplicities: Dict[GroundAtom, NatInf] = {}
+    for atom, polynomial in result.polynomials.items():
+        multiplicities[atom] = polynomial.evaluate(semiring, valuation)
+    for atom in result.infinite:
+        multiplicities[atom] = INFINITY
+    return multiplicities

@@ -1,0 +1,167 @@
+"""Derivation trees for grounded datalog programs (Definition 5.1).
+
+A derivation tree for a ground atom ``t`` is built by picking a grounded rule
+with head ``t`` and, recursively, derivation trees for every IDB body atom;
+EDB body atoms are leaves.  The proof-theoretic datalog semantics annotates
+``t`` with the sum, over all derivation trees, of the product of the leaf
+annotations, and the provenance series counts trees per *fringe* (the bag of
+leaf tuple ids).
+
+This module enumerates derivation trees explicitly.  Enumeration is only
+possible for atoms with finitely many trees (or up to a depth bound), but it
+is invaluable for testing: the test suite cross-checks the fixpoint engine
+and the provenance algorithms against brute-force tree enumeration on small
+instances, which is the most direct reading of Definition 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import DatalogError
+from repro.datalog.grounding import GroundAtom, GroundProgram
+from repro.semirings.base import Semiring
+from repro.semirings.polynomial import Monomial
+
+__all__ = ["DerivationTree", "enumerate_derivation_trees", "count_derivation_trees"]
+
+
+@dataclass(frozen=True)
+class DerivationTree:
+    """A derivation tree: a root atom, the grounded rule applied, and subtrees.
+
+    EDB leaves are represented as trees with ``rule_index = None`` and no
+    children.
+    """
+
+    root: GroundAtom
+    rule_index: int | None
+    children: Tuple["DerivationTree", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is an EDB leaf."""
+        return self.rule_index is None
+
+    def leaves(self) -> Iterator[GroundAtom]:
+        """Iterate over the EDB leaf atoms, left to right (with repetitions)."""
+        if self.is_leaf:
+            yield self.root
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+    def fringe(self, edb_ids: Dict[GroundAtom, str]) -> Monomial:
+        """The fringe as a monomial over the leaf tuple ids (a bag of labels)."""
+        return Monomial.from_bag(edb_ids[leaf] for leaf in self.leaves())
+
+    def leaf_product(self, semiring: Semiring, annotations: Dict[GroundAtom, object]) -> object:
+        """The product of the leaf annotations in ``semiring`` (Definition 5.1)."""
+        return semiring.product(annotations[leaf] for leaf in self.leaves())
+
+    def depth(self) -> int:
+        """Height of the tree (leaves have depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        """Number of nodes."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def __str__(self) -> str:
+        if self.is_leaf:
+            return str(self.root)
+        inner = ", ".join(str(child) for child in self.children)
+        return f"{self.root} ⇐ [{inner}]"
+
+
+def enumerate_derivation_trees(
+    ground: GroundProgram,
+    atom: GroundAtom,
+    *,
+    max_depth: int | None = None,
+    max_trees: int | None = None,
+) -> List[DerivationTree]:
+    """Enumerate derivation trees for ``atom``.
+
+    Without ``max_depth`` the atom must have finitely many trees (i.e. it
+    must not lie downstream of a cycle of the grounded dependency graph);
+    otherwise a :class:`DatalogError` is raised.  With ``max_depth`` the
+    enumeration is truncated at that height, which is how the tests sample
+    the infinite-tree cases of Figure 7.  ``max_trees`` caps the total number
+    of trees returned.
+    """
+    if max_depth is None:
+        infinite = ground.atoms_with_infinite_derivations()
+        if atom in infinite:
+            raise DatalogError(
+                f"{atom} has infinitely many derivation trees; pass max_depth to sample them"
+            )
+
+    budget = [max_trees if max_trees is not None else float("inf")]
+
+    def build(current: GroundAtom, remaining_depth: int | None) -> List[DerivationTree]:
+        if ground.is_edb(current):
+            return [DerivationTree(current, None)]
+        if remaining_depth is not None and remaining_depth <= 1:
+            return []
+        trees: List[DerivationTree] = []
+        next_depth = None if remaining_depth is None else remaining_depth - 1
+        for rule in ground.rules_with_head(current):
+            child_options = [build(body_atom, next_depth) for body_atom in rule.body]
+            if any(not options for options in child_options):
+                continue
+            for combination in _cartesian(child_options):
+                if budget[0] <= 0:
+                    return trees
+                trees.append(DerivationTree(current, rule.rule_index, tuple(combination)))
+                budget[0] -= 1
+        return trees
+
+    if atom not in ground.derivable:
+        return []
+    return build(atom, max_depth)
+
+
+def count_derivation_trees(
+    ground: GroundProgram, atom: GroundAtom, *, max_depth: int
+) -> int:
+    """Count derivation trees of height at most ``max_depth`` (dynamic program).
+
+    Used by tests to check the coefficients of truncated provenance series
+    (e.g. the Catalan numbers of Figure 7) without materializing the trees.
+    """
+    cache: Dict[tuple[GroundAtom, int], int] = {}
+
+    def count(current: GroundAtom, depth: int) -> int:
+        if ground.is_edb(current):
+            return 1
+        if depth <= 1:
+            return 0
+        key = (current, depth)
+        if key in cache:
+            return cache[key]
+        total = 0
+        for rule in ground.rules_with_head(current):
+            product = 1
+            for body_atom in rule.body:
+                product *= count(body_atom, depth - 1)
+                if product == 0:
+                    break
+            total += product
+        cache[key] = total
+        return total
+
+    return count(atom, max_depth)
+
+
+def _cartesian(option_lists: List[List[DerivationTree]]) -> Iterator[tuple]:
+    if not option_lists:
+        yield ()
+        return
+    head, *tail = option_lists
+    for choice in head:
+        for rest in _cartesian(tail):
+            yield (choice, *rest)

@@ -1,0 +1,160 @@
+"""Datalog over finite distributive lattices (Section 8 of the paper).
+
+When the annotation semiring ``K`` is a finite distributive lattice --
+``B``, ``PosBool(B)``, the event sets ``P(Omega)``, the fuzzy semiring over a
+finite value set -- datalog evaluation always terminates, even for tuples
+with infinitely many derivation trees.  The paper obtains this by modifying
+All-Trees to keep, per tuple, only the derivation trees whose fringe is
+*minimal*; absorption (``a + a·b = a``) makes every non-minimal fringe
+redundant, and by Dickson's lemma there are only finitely many minimal
+fringes.
+
+Operationally, keeping minimal fringes is the same as computing the tuple's
+provenance in ``PosBool(X)`` (the free distributive lattice over the tuple
+ids): multiplication idempotence flattens exponents and absorption removes
+dominated monomials.  This module therefore evaluates the program once in
+``PosBool(X)`` over the abstractly tagged EDB -- producing a boolean c-table,
+the "datalog on c-tables" semantics the paper notes is new for incomplete
+databases -- and then specializes the result to any distributive lattice via
+the ``Eval_v`` homomorphism (Theorem 6.4 restricted to lattices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+from repro.errors import DatalogError
+from repro.datalog.all_trees import default_edb_ids
+from repro.datalog.fixpoint import evaluate_program
+from repro.datalog.grounding import GroundAtom, ground_program
+from repro.datalog.syntax import Program
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.relations.schema import Schema
+from repro.relations.tuples import Tup
+from repro.semirings.base import Semiring
+from repro.semirings.posbool import BoolExpr, PosBoolSemiring
+
+__all__ = ["LatticeDatalogResult", "lattice_condition_provenance", "evaluate_on_lattice"]
+
+
+@dataclass
+class LatticeDatalogResult:
+    """Datalog-on-c-tables output: a condition (PosBool expression) per tuple."""
+
+    edb_ids: Dict[GroundAtom, str]
+    conditions: Dict[GroundAtom, BoolExpr]
+    program: Program
+
+    def condition(self, atom: GroundAtom) -> BoolExpr:
+        """The minimal-fringe condition of a derivable IDB atom."""
+        try:
+            return self.conditions[atom]
+        except KeyError:
+            raise DatalogError(f"{atom} is not a derivable IDB atom") from None
+
+    def evaluate(self, lattice: Semiring, valuation: Mapping[str, Any]) -> Dict[GroundAtom, Any]:
+        """Specialize every condition to a distributive lattice ``K``.
+
+        ``valuation`` maps tuple ids to lattice elements; each condition's
+        minimal monomials are mapped to meets and joined, which is exactly
+        evaluating the minimal-fringe polynomial of the paper's modified
+        All-Trees in ``K``.
+        """
+        if not lattice.is_distributive_lattice:
+            raise DatalogError(
+                f"Section 8 evaluation needs a distributive lattice, got {lattice.name}"
+            )
+        coerced = {k: lattice.coerce(v) for k, v in valuation.items()}
+        results: Dict[GroundAtom, Any] = {}
+        for atom, condition in self.conditions.items():
+            value = lattice.zero()
+            for clause in condition.clauses:
+                meet = lattice.one()
+                for variable in clause:
+                    meet = lattice.mul(meet, coerced[variable])
+                value = lattice.add(value, meet)
+            results[atom] = value
+        return results
+
+
+def lattice_condition_provenance(
+    program: Program | str,
+    database: Database,
+    *,
+    edb_ids: Mapping[GroundAtom, str] | None = None,
+) -> LatticeDatalogResult:
+    """Compute the PosBool(X) ("minimal fringe") provenance of a datalog query.
+
+    The database may be annotated in any semiring; only the support matters
+    here, since each EDB fact is re-tagged with its own Boolean variable.
+    """
+    if isinstance(program, str):
+        program = Program.parse(program)
+    ground = ground_program(program, database)
+    ids = dict(edb_ids) if edb_ids is not None else default_edb_ids(ground)
+
+    posbool = PosBoolSemiring()
+    tagged = Database(posbool)
+    for predicate in program.edb_predicates:
+        source = database.relation(predicate)
+        relation = KRelation(posbool, source.schema)
+        for tup, _annotation in source.items():
+            atom = GroundAtom(predicate, tup.values_for(source.schema.attributes))
+            relation.set(tup, BoolExpr.var(ids[atom]))
+        tagged.register(predicate, relation)
+
+    result = evaluate_program(program, tagged)
+    conditions = {
+        atom: value
+        for atom, value in result.annotations.items()
+        if not posbool.is_zero(value)
+    }
+    return LatticeDatalogResult(edb_ids=ids, conditions=conditions, program=program)
+
+
+def evaluate_on_lattice(
+    program: Program | str,
+    database: Database,
+    *,
+    output_only: bool = True,
+) -> KRelation:
+    """Terminating datalog evaluation when the database's semiring is a lattice.
+
+    This is the end-to-end Section 8 pipeline: compute the PosBool(X)
+    conditions, then evaluate them under the valuation sending each tuple id
+    to the fact's own annotation.  The sanity checks of the paper hold by
+    construction: for ``K = B`` every derivable tuple gets ``true``; for
+    ``K = PosBool(B)`` the result is the c-table datalog semantics; for
+    ``K = P(Omega)`` it generalizes probabilistic datalog.
+    """
+    if isinstance(program, str):
+        program = Program.parse(program)
+    semiring = database.semiring
+    if not semiring.is_distributive_lattice:
+        raise DatalogError(
+            f"evaluate_on_lattice requires a distributive-lattice semiring, got {semiring.name}"
+        )
+    provenance = lattice_condition_provenance(program, database)
+    ground = ground_program(program, database)
+    valuation = {
+        provenance.edb_ids[atom]: ground.edb_annotation(atom)
+        for atom in ground.edb_atoms
+    }
+    values = provenance.evaluate(semiring, valuation)
+
+    predicate = program.output
+    arity = program.arity(predicate)
+    if predicate in database:
+        schema = database.relation(predicate).schema
+    else:
+        head_names = program.head_attributes(predicate)
+        schema = Schema(head_names or [f"c{i + 1}" for i in range(arity)])
+    relation = KRelation(semiring, schema)
+    for atom, value in values.items():
+        if atom.relation != predicate or semiring.is_zero(value):
+            continue
+        if not output_only or atom.relation == predicate:
+            relation.set(Tup.from_values(schema.attributes, atom.values), value)
+    return relation

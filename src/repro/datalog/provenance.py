@@ -1,0 +1,207 @@
+"""Datalog provenance in the power-series semiring ``N-inf[[X]]`` (Section 6).
+
+For every derivable output tuple the provenance is:
+
+* an **exact polynomial** when the tuple has finitely many derivation trees
+  (All-Trees' positive case);
+* otherwise a **formal power series**, reported as a truncation that is exact
+  for every monomial of total degree up to a chosen bound, with coefficients
+  that are provably infinite marked ``infinity`` (Theorem 6.5 / the
+  Monomial-Coefficient algorithm govern when that happens).
+
+The truncated series are computed by Kleene iteration in the truncated
+power-series semiring.  The iteration is exact because round ``r`` of the
+fixpoint accounts for every derivation tree of height at most ``r``, and a
+monomial of total degree ``d`` with a *finite* coefficient only receives
+contributions from trees of height at most ``(d + 1) * (number of IDB atoms
++ 1)``: any taller tree must repeat an IDB atom along a leaf-free (unit-rule)
+chain, which by Theorem 6.5 forces the coefficient to be infinite.  So after
+that many rounds every still-changing coefficient is infinite and is marked
+as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import DatalogError
+from repro.datalog.all_trees import all_trees, default_edb_ids
+from repro.datalog.finiteness import ProvenanceClass, classify_provenance
+from repro.datalog.grounding import GroundAtom, GroundProgram, ground_program
+from repro.datalog.syntax import Program
+from repro.relations.database import Database
+from repro.semirings.base import Semiring
+from repro.semirings.numeric import INFINITY, NatInf
+from repro.semirings.polynomial import Monomial, Polynomial
+from repro.semirings.power_series import FormalPowerSeries, PowerSeriesSemiring
+
+__all__ = ["DatalogProvenance", "datalog_provenance"]
+
+
+@dataclass
+class DatalogProvenance:
+    """Provenance series for every derivable IDB atom of a datalog query.
+
+    ``series`` maps each atom to a :class:`FormalPowerSeries`: exact
+    (``truncation_degree is None``) for atoms with polynomial provenance,
+    truncated otherwise.  ``classification`` records which provenance
+    semiring each atom needs (Theorem 6.5's trichotomy).
+    """
+
+    ground: GroundProgram
+    edb_ids: Dict[GroundAtom, str]
+    series: Dict[GroundAtom, FormalPowerSeries]
+    classification: Dict[GroundAtom, ProvenanceClass]
+    truncation_degree: int
+
+    def provenance(self, atom: GroundAtom | tuple) -> FormalPowerSeries:
+        """The provenance series of an output/IDB atom (tuples name output atoms)."""
+        if not isinstance(atom, GroundAtom):
+            atom = GroundAtom(self.ground.program.output, tuple(atom))
+        try:
+            return self.series[atom]
+        except KeyError:
+            raise DatalogError(f"{atom} is not a derivable IDB atom") from None
+
+    def coefficient(self, atom: GroundAtom | tuple, monomial: Monomial | str) -> NatInf:
+        """Exact coefficient of ``monomial`` via the Monomial-Coefficient algorithm.
+
+        Unlike reading the truncated series, this works for monomials of any
+        degree.
+        """
+        from repro.datalog.monomial_coefficient import monomial_coefficient
+
+        if not isinstance(atom, GroundAtom):
+            atom = GroundAtom(self.ground.program.output, tuple(atom))
+        result = monomial_coefficient(
+            self.ground.program, self.ground.database, atom, monomial, edb_ids=self.edb_ids
+        )
+        return result.coefficient
+
+    def evaluate(self, semiring: Semiring, valuation: Mapping[str, object]) -> Dict[GroundAtom, object]:
+        """Evaluate the *exact* (polynomial) provenance in an ω-continuous semiring.
+
+        Only atoms whose provenance is an exact polynomial are evaluated;
+        this is the datalog factorization theorem (Theorem 6.4) restricted to
+        the polynomial case, which is what can be done without taking limits.
+        The fixpoint engine evaluates the remaining atoms directly.
+        """
+        coerced = {k: semiring.coerce(v) for k, v in valuation.items()}
+        values: Dict[GroundAtom, object] = {}
+        for atom, series in self.series.items():
+            if series.is_exact:
+                values[atom] = series.to_polynomial().evaluate(semiring, coerced)
+        return values
+
+    def output_series(self) -> Dict[GroundAtom, FormalPowerSeries]:
+        """Provenance series of the output predicate's atoms only."""
+        output = self.ground.program.output
+        return {atom: s for atom, s in self.series.items() if atom.relation == output}
+
+
+def datalog_provenance(
+    program: Program | str,
+    database: Database,
+    *,
+    truncation_degree: int = 6,
+    edb_ids: Mapping[GroundAtom, str] | None = None,
+) -> DatalogProvenance:
+    """Compute the ``N-inf[[X]]`` provenance of a datalog query (Definition 6.1).
+
+    ``truncation_degree`` bounds the total degree up to which coefficients of
+    *proper* (non-polynomial) series are reported; polynomial provenance is
+    always exact regardless of the bound.
+    """
+    if isinstance(program, str):
+        program = Program.parse(program)
+    ground = ground_program(program, database)
+    ids = dict(edb_ids) if edb_ids is not None else default_edb_ids(ground)
+
+    report = classify_provenance(ground)
+    finite_result = all_trees(program, database, edb_ids=ids)
+
+    series: Dict[GroundAtom, FormalPowerSeries] = {}
+    for atom, polynomial in finite_result.polynomials.items():
+        series[atom] = FormalPowerSeries.from_polynomial(polynomial)
+
+    infinite_atoms = finite_result.infinite
+    if infinite_atoms:
+        truncated = _truncated_series_fixpoint(
+            ground, ids, truncation_degree=truncation_degree
+        )
+        for atom in infinite_atoms:
+            series[atom] = truncated[atom]
+
+    return DatalogProvenance(
+        ground=ground,
+        edb_ids=ids,
+        series=series,
+        classification=dict(report.classification),
+        truncation_degree=truncation_degree,
+    )
+
+
+def _truncated_series_fixpoint(
+    ground: GroundProgram,
+    ids: Mapping[GroundAtom, str],
+    *,
+    truncation_degree: int,
+) -> Dict[GroundAtom, FormalPowerSeries]:
+    """Kleene iteration in the degree-truncated power-series semiring.
+
+    After the stabilization bound (see the module docstring) any coefficient
+    that is still changing is marked ``infinity``.
+    """
+    semiring = PowerSeriesSemiring(truncation_degree=truncation_degree)
+    idb_atoms = sorted(
+        ground.idb_atoms, key=lambda a: (a.relation, tuple(map(str, a.values)))
+    )
+    edb_series = {
+        atom: FormalPowerSeries.var(ids[atom], truncation_degree)
+        for atom in ground.edb_atoms
+    }
+    values: Dict[GroundAtom, FormalPowerSeries] = {
+        atom: semiring.zero() for atom in idb_atoms
+    }
+
+    bound = (truncation_degree + 1) * (len(idb_atoms) + 1) + 1
+
+    def one_round(current: Dict[GroundAtom, FormalPowerSeries]) -> Dict[GroundAtom, FormalPowerSeries]:
+        updated: Dict[GroundAtom, FormalPowerSeries] = {}
+        for atom in idb_atoms:
+            total = semiring.zero()
+            for rule in ground.rules_with_head(atom):
+                product = semiring.one()
+                for body_atom in rule.body:
+                    if ground.is_edb(body_atom):
+                        factor = edb_series[body_atom]
+                    else:
+                        factor = current.get(body_atom, semiring.zero())
+                    product = semiring.mul(product, factor)
+                total = semiring.add(total, product)
+            updated[atom] = total
+        return updated
+
+    for _ in range(bound):
+        updated = one_round(values)
+        if updated == values:
+            return updated
+        values = updated
+
+    # One more round to discover which coefficients are still growing.
+    final_round = one_round(values)
+    stabilized: Dict[GroundAtom, FormalPowerSeries] = {}
+    for atom in idb_atoms:
+        before, after = values[atom], final_round[atom]
+        terms: Dict[Monomial, NatInf] = {}
+        monomials = {m for m, _ in before.terms} | {m for m, _ in after.terms}
+        for monomial in monomials:
+            coefficient_before = before.coefficient(monomial)
+            coefficient_after = after.coefficient(monomial)
+            if coefficient_before == coefficient_after:
+                terms[monomial] = coefficient_after
+            else:
+                terms[monomial] = INFINITY
+        stabilized[atom] = FormalPowerSeries(terms, truncation_degree)
+    return stabilized

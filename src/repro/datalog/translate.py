@@ -1,0 +1,50 @@
+"""Translation between positive relational algebra and (non-recursive) datalog.
+
+Proposition 5.3 of the paper is the expected sanity check: an ``RA+`` query
+whose selections only test attribute equality and its standard translation
+into a non-recursive datalog program produce the same K-relation on every
+K-database.  Proposition 6.2 is the analogous statement for provenance
+(modulo the embedding of ``N[X]`` into ``N-inf[[X]]``).
+
+This module implements the translation in the direction the propositions
+need: unions of conjunctive queries -- the named fragment the paper evaluates
+by sums of products -- become single-IDB datalog programs.  The tests
+evaluate both sides over multiple semirings to check the propositions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra.conjunctive import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.syntax import Program, Rule
+from repro.logic import Atom
+
+__all__ = ["ucq_to_program", "cq_to_program"]
+
+
+def cq_to_program(query: ConjunctiveQuery, *, output: str | None = None) -> Program:
+    """Translate a single conjunctive query into a one-rule datalog program."""
+    head = Atom(output or query.name, query.head_terms)
+    return Program([Rule(head, query.body)], output=head.relation)
+
+
+def ucq_to_program(
+    query: UnionOfConjunctiveQueries | Sequence[ConjunctiveQuery],
+    *,
+    output: str | None = None,
+) -> Program:
+    """Translate a union of conjunctive queries into a non-recursive program.
+
+    Every disjunct becomes one rule with a shared head predicate, so the
+    datalog semantics (sum over derivation trees) coincides with the UCQ
+    semantics (sum over disjuncts of sums over valuations).
+    """
+    if isinstance(query, UnionOfConjunctiveQueries):
+        disjuncts = list(query.disjuncts)
+        name = output or query.name
+    else:
+        disjuncts = list(query)
+        name = output or (disjuncts[0].name if disjuncts else "Q")
+    rules = [Rule(Atom(name, cq.head_terms), cq.body) for cq in disjuncts]
+    return Program(rules, output=name)

@@ -1,0 +1,20 @@
+"""Incomplete databases: maybe-tables, Boolean c-tables and possible worlds (Figures 1-2)."""
+
+from repro.incomplete.ctables import CTable, ctable_database
+from repro.incomplete.maybe_tables import MaybeTable
+from repro.incomplete.possible_worlds import (
+    answer_world_set,
+    certain_answers,
+    possible_answers,
+    query_possible_worlds,
+)
+
+__all__ = [
+    "MaybeTable",
+    "CTable",
+    "ctable_database",
+    "query_possible_worlds",
+    "answer_world_set",
+    "certain_answers",
+    "possible_answers",
+]

@@ -1,0 +1,15 @@
+"""Probabilistic databases: event tables and tuple-independent databases (Figure 4, Section 8)."""
+
+from repro.probabilistic.event_tables import (
+    EventTable,
+    IndependentEventSpace,
+    event_database,
+)
+from repro.probabilistic.tuple_independent import ProbabilisticDatabase
+
+__all__ = [
+    "EventTable",
+    "IndependentEventSpace",
+    "event_database",
+    "ProbabilisticDatabase",
+]

@@ -1,0 +1,123 @@
+"""Tuple-independent probabilistic databases and exact query probabilities.
+
+This is the user-facing layer over the event-semiring machinery: declare
+relations whose tuples carry independent existence probabilities, run any
+positive-algebra query or datalog program, and read exact output-tuple
+probabilities.  Exactness comes from working in ``P(Omega)`` over the
+explicitly constructed world space (intensional evaluation in the sense of
+Fuhr-Roelleke); this is exponential in the number of uncertain tuples and is
+intended for the moderate sizes of the paper's examples and our benchmarks,
+not as a competitor to dedicated probabilistic engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from repro.algebra.ast import Query
+from repro.datalog.lattice_eval import evaluate_on_lattice
+from repro.datalog.syntax import Program
+from repro.errors import SemiringError
+from repro.probabilistic.event_tables import EventTable, IndependentEventSpace
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.relations.tuples import Tup
+
+__all__ = ["ProbabilisticDatabase"]
+
+
+@dataclass
+class ProbabilisticDatabase:
+    """A collection of tuple-independent probabilistic relations.
+
+    Usage::
+
+        pdb = ProbabilisticDatabase()
+        pdb.add_relation("R", ["a", "b", "c"], [
+            (("a", "b", "c"), "x", 0.6),
+            (("d", "b", "e"), "y", 0.5),
+            (("f", "g", "e"), "z", 0.1),
+        ])
+        answer = pdb.query_probabilities(q)
+    """
+
+    _declarations: Dict[str, tuple[tuple[str, ...], list[tuple[Any, str, float]]]] = field(
+        default_factory=dict
+    )
+    _space: IndependentEventSpace | None = field(default=None, init=False)
+    _database: Database | None = field(default=None, init=False)
+
+    # -- declaration -------------------------------------------------------------
+    def add_relation(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        rows: Iterable[Tuple[Any, str, float]],
+    ) -> None:
+        """Declare a relation: rows are ``(tuple values, event name, probability)``."""
+        if self._space is not None:
+            raise SemiringError("cannot add relations after the database has been built")
+        self._declarations[name] = (tuple(attributes), list(rows))
+
+    def _build(self) -> None:
+        if self._space is not None:
+            return
+        marginals: Dict[str, float] = {}
+        for _, rows in self._declarations.values():
+            for _, event_name, probability in rows:
+                if event_name in marginals and marginals[event_name] != probability:
+                    raise SemiringError(
+                        f"event {event_name!r} declared with two different probabilities"
+                    )
+                marginals[event_name] = probability
+        self._space = IndependentEventSpace(marginals)
+        self._database = Database(self._space.semiring)
+        for name, (attributes, rows) in self._declarations.items():
+            table = EventTable.tuple_independent(attributes, rows, space=self._space)
+            self._database.register(name, table.relation)
+
+    # -- access ------------------------------------------------------------------
+    @property
+    def space(self) -> IndependentEventSpace:
+        """The shared sample space (built lazily)."""
+        self._build()
+        assert self._space is not None
+        return self._space
+
+    @property
+    def database(self) -> Database:
+        """The underlying ``P(Omega)`` database (built lazily)."""
+        self._build()
+        assert self._database is not None
+        return self._database
+
+    def marginal(self, event_name: str) -> float:
+        """The declared marginal probability of a base event."""
+        return self.space.marginals[event_name]
+
+    # -- querying -----------------------------------------------------------------
+    def query_events(self, query: Query) -> KRelation:
+        """Evaluate a positive-algebra query, returning the event of each answer."""
+        return query.evaluate(self.database)
+
+    def query_probabilities(self, query: Query) -> Dict[Tup, float]:
+        """Evaluate a query and return the exact probability of each answer tuple."""
+        events = self.query_events(query)
+        return {tup: self.space.probability(event) for tup, event in events.items()}
+
+    def datalog_events(self, program: Program | str) -> KRelation:
+        """Evaluate a datalog program (Section 8: P(Omega) is a finite lattice)."""
+        if isinstance(program, str):
+            program = Program.parse(program)
+        return evaluate_on_lattice(program, self.database)
+
+    def datalog_probabilities(self, program: Program | str) -> Dict[Tup, float]:
+        """Datalog evaluation with exact output probabilities."""
+        events = self.datalog_events(program)
+        return {tup: self.space.probability(event) for tup, event in events.items()}
+
+    def tuple_probability(self, relation_name: str, row: Any) -> float:
+        """Probability that an input tuple is present."""
+        relation = self.database.relation(relation_name)
+        return self.space.probability(relation.annotation(row))

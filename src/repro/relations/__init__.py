@@ -1,0 +1,23 @@
+"""K-relations and databases (Definition 3.1 of the paper)."""
+
+from repro.relations.database import Database
+from repro.relations.display import format_relation
+from repro.relations.krelation import KRelation
+from repro.relations.schema import Schema
+from repro.relations.tagging import (
+    TaggedDatabase,
+    abstractly_tag,
+    abstractly_tag_database,
+)
+from repro.relations.tuples import Tup
+
+__all__ = [
+    "Tup",
+    "Schema",
+    "KRelation",
+    "Database",
+    "format_relation",
+    "TaggedDatabase",
+    "abstractly_tag",
+    "abstractly_tag_database",
+]

@@ -1,0 +1,43 @@
+"""Plain-text rendering of K-relations, in the style of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.relations.krelation import KRelation
+
+__all__ = ["format_relation"]
+
+
+def format_relation(relation: "KRelation", *, sort: bool = True, annotation_header: str = "annotation") -> str:
+    """Render a K-relation as an aligned text table.
+
+    Columns are the schema attributes followed by the annotation, formatted
+    by the relation's semiring.  Rows are sorted by their attribute values
+    when ``sort`` is true so output is deterministic.
+    """
+    attributes = list(relation.schema.attributes)
+    header = attributes + [annotation_header]
+    rows = []
+    items = list(relation.items())
+    if sort:
+        items.sort(key=lambda item: tuple(str(v) for v in item[0].values_for(attributes)))
+    for tup, annotation in items:
+        values = [str(v) for v in tup.values_for(attributes)]
+        values.append(relation.semiring.format_value(annotation))
+        rows.append(values)
+
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = [render_row(header), "-+-".join("-" * w for w in widths)]
+    lines.extend(render_row(row) for row in rows)
+    if not rows:
+        lines.append("(empty)")
+    return "\n".join(lines)

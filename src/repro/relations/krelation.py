@@ -1,0 +1,305 @@
+"""K-relations: relations whose tuples are annotated with semiring elements.
+
+Definition 3.1 of the paper: a K-relation over attributes ``U`` is a function
+``R : U-Tup -> K`` with finite support, where the support is the set of
+tuples with non-zero annotation.  :class:`KRelation` stores exactly the
+support as a dictionary from :class:`~repro.relations.tuples.Tup` to
+annotation; every tuple not stored is implicitly annotated ``0``.
+
+The relational-algebra operators of Definition 3.2 live in
+:mod:`repro.algebra.operators`; :class:`KRelation` exposes them as
+convenience methods (``union``, ``project``, ``select``, ``join``,
+``rename``) so that small programs and the examples read naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import SchemaError, SemiringError
+from repro.relations.schema import Schema
+from repro.relations.tuples import Tup
+from repro.semirings.base import Semiring
+
+__all__ = ["KRelation"]
+
+RowLike = Any  # a Tup, a mapping, or a sequence of values in schema order
+
+
+class KRelation:
+    """A finite-support map from tuples to annotations in a fixed semiring.
+
+    Parameters
+    ----------
+    semiring:
+        The annotation semiring ``K``.
+    schema:
+        The attribute set ``U`` (a :class:`Schema` or an iterable of names).
+    rows:
+        Optional initial contents: an iterable of ``(row, annotation)``
+        pairs, or of bare rows (annotated with ``1``).  Rows may be
+        :class:`Tup` objects, mappings, or value sequences in schema order.
+    """
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        schema: Schema | Iterable[str],
+        rows: Iterable[Any] = (),
+    ):
+        self.semiring = semiring
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self._annotations: Dict[Tup, Any] = {}
+        for entry in rows:
+            row, annotation = self._split_entry(entry)
+            self.add(row, annotation)
+
+    # -- construction helpers --------------------------------------------------
+    def _split_entry(self, entry: Any) -> tuple[Any, Any]:
+        if (
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[0], (Tup, Mapping, tuple, list))
+            and not isinstance(entry[0], str)
+        ):
+            return entry[0], entry[1]
+        return entry, self.semiring.one()
+
+    def _coerce_tuple(self, row: RowLike) -> Tup:
+        if isinstance(row, Tup):
+            candidate = row
+        elif isinstance(row, Mapping):
+            candidate = Tup(row)
+        elif isinstance(row, (tuple, list)):
+            candidate = Tup.from_values(self.schema.attributes, row)
+        else:
+            raise SchemaError(f"cannot interpret {row!r} as a tuple over {self.schema}")
+        if candidate.attributes != self.schema.attribute_set:
+            raise SchemaError(
+                f"tuple {candidate} does not match schema {self.schema}"
+            )
+        return candidate
+
+    @classmethod
+    def from_dict(
+        cls,
+        semiring: Semiring,
+        schema: Schema | Iterable[str],
+        annotations: Mapping[Any, Any],
+    ) -> "KRelation":
+        """Build a relation from a ``{row: annotation}`` mapping."""
+        return cls(semiring, schema, annotations.items())
+
+    def empty_like(self) -> "KRelation":
+        """A fresh empty relation with the same semiring and schema."""
+        return KRelation(self.semiring, self.schema)
+
+    def copy(self) -> "KRelation":
+        """A shallow copy (annotations are immutable values, so this is safe)."""
+        clone = self.empty_like()
+        clone._annotations = dict(self._annotations)
+        return clone
+
+    # -- mutation ---------------------------------------------------------------
+    def add(self, row: RowLike, annotation: Any | None = None) -> Tup:
+        """Add ``annotation`` (default ``1``) to the tuple's current annotation.
+
+        Following Definition 3.2's treatment of union/projection, annotations
+        of the same tuple combine with the semiring's ``+``.  Returns the
+        canonical :class:`Tup` that was updated.
+        """
+        tup = self._coerce_tuple(row)
+        value = (
+            self.semiring.one()
+            if annotation is None
+            else self.semiring.coerce(annotation)
+        )
+        current = self._annotations.get(tup)
+        if current is None:
+            combined = value
+        else:
+            combined = self.semiring.add(current, value)
+        if self.semiring.is_zero(combined):
+            self._annotations.pop(tup, None)
+        else:
+            self._annotations[tup] = combined
+        return tup
+
+    def set(self, row: RowLike, annotation: Any) -> Tup:
+        """Overwrite the annotation of a tuple (removing it when set to zero)."""
+        tup = self._coerce_tuple(row)
+        value = self.semiring.coerce(annotation)
+        if self.semiring.is_zero(value):
+            self._annotations.pop(tup, None)
+        else:
+            self._annotations[tup] = value
+        return tup
+
+    def discard(self, row: RowLike) -> None:
+        """Remove a tuple from the support (set its annotation to zero)."""
+        tup = self._coerce_tuple(row)
+        self._annotations.pop(tup, None)
+
+    # -- access -----------------------------------------------------------------
+    def annotation(self, row: RowLike) -> Any:
+        """The annotation of ``row`` (the semiring zero when not in the support)."""
+        tup = self._coerce_tuple(row)
+        return self._annotations.get(tup, self.semiring.zero())
+
+    __call__ = annotation
+
+    def __getitem__(self, row: RowLike) -> Any:
+        return self.annotation(row)
+
+    @property
+    def support(self) -> frozenset[Tup]:
+        """The tuples with non-zero annotation (Definition 3.1)."""
+        return frozenset(self._annotations)
+
+    def items(self) -> Iterator[Tuple[Tup, Any]]:
+        """Iterate over (tuple, annotation) pairs of the support."""
+        return iter(self._annotations.items())
+
+    def annotations(self) -> Iterator[Any]:
+        """Iterate over the non-zero annotations."""
+        return iter(self._annotations.values())
+
+    def __iter__(self) -> Iterator[Tup]:
+        return iter(self._annotations)
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    def __contains__(self, row: RowLike) -> bool:
+        try:
+            tup = self._coerce_tuple(row)
+        except SchemaError:
+            return False
+        return tup in self._annotations
+
+    def __bool__(self) -> bool:
+        return bool(self._annotations)
+
+    # -- semiring-aware transformations ------------------------------------------
+    def map_annotations(
+        self,
+        function: Callable[[Any], Any],
+        target_semiring: Semiring | None = None,
+    ) -> "KRelation":
+        """Apply ``function`` to every annotation, optionally changing semiring.
+
+        This is the tuple-wise transformation of Proposition 3.5; it commutes
+        with queries exactly when ``function`` is a semiring homomorphism.
+        Tuples whose image is zero are dropped ("the support may shrink but
+        never increase").
+        """
+        semiring = target_semiring or self.semiring
+        result = KRelation(semiring, self.schema)
+        for tup, annotation in self._annotations.items():
+            value = semiring.coerce(function(annotation))
+            if not semiring.is_zero(value):
+                result._annotations[tup] = value
+        return result
+
+    def to_semiring(
+        self, target: Semiring, conversion: Callable[[Any], Any] | None = None
+    ) -> "KRelation":
+        """Reinterpret the relation in another semiring.
+
+        Without an explicit ``conversion`` the annotations are passed to the
+        target's :meth:`~repro.semirings.base.Semiring.coerce` (useful e.g.
+        for reading an ``N``-relation as an ``N-inf``-relation, as the paper
+        does before running datalog).
+        """
+        return self.map_annotations(conversion or target.coerce, target)
+
+    # -- relational algebra (thin wrappers over repro.algebra.operators) --------
+    def union(self, other: "KRelation") -> "KRelation":
+        """Union (Definition 3.2): annotations of shared tuples are added."""
+        from repro.algebra import operators
+
+        return operators.union(self, other)
+
+    def project(self, attributes: Iterable[str]) -> "KRelation":
+        """Projection onto ``attributes``, summing annotations of merged tuples."""
+        from repro.algebra import operators
+
+        return operators.project(self, attributes)
+
+    def select(self, predicate: Callable[[Tup], Any]) -> "KRelation":
+        """Selection by a {0,1}-valued predicate (annotations multiplied)."""
+        from repro.algebra import operators
+
+        return operators.select(self, predicate)
+
+    def join(self, other: "KRelation") -> "KRelation":
+        """Natural join: annotations of joinable tuples are multiplied."""
+        from repro.algebra import operators
+
+        return operators.join(self, other)
+
+    def rename(self, mapping: Mapping[str, str]) -> "KRelation":
+        """Attribute renaming by a bijection."""
+        from repro.algebra import operators
+
+        return operators.rename(self, mapping)
+
+    # -- comparisons --------------------------------------------------------------
+    def equal_to(self, other: "KRelation") -> bool:
+        """Annotation-wise equality of two relations over the same schema."""
+        if not isinstance(other, KRelation):
+            return False
+        if self.schema.attribute_set != other.schema.attribute_set:
+            return False
+        return dict(self._annotations) == dict(other._annotations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KRelation):
+            return NotImplemented
+        return self.equal_to(other)
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mostly unhashed
+        return hash(
+            ("KRelation", self.schema.attribute_set, frozenset(self._annotations.items()))
+        )
+
+    def contained_in(self, other: "KRelation") -> bool:
+        """Annotation-wise containment in the semiring's natural order."""
+        if self.schema.attribute_set != other.schema.attribute_set:
+            raise SchemaError("containment requires union-compatible relations")
+        leq = self.semiring.leq
+        for tup in set(self._annotations) | set(other._annotations):
+            if not leq(self.annotation(tup), other.annotation(tup)):
+                return False
+        return True
+
+    # -- display -------------------------------------------------------------------
+    def to_table(self, sort: bool = True) -> str:
+        """Human-readable table of the support with annotations."""
+        from repro.relations.display import format_relation
+
+        return format_relation(self, sort=sort)
+
+    def __repr__(self) -> str:
+        return (
+            f"KRelation({self.semiring.name}, {list(self.schema.attributes)}, "
+            f"{len(self._annotations)} tuples)"
+        )
+
+    def __str__(self) -> str:
+        return self.to_table()
+
+    # -- misc -----------------------------------------------------------------------
+    def total_annotation(self) -> Any:
+        """The sum of all annotations (e.g. total multiplicity under bags)."""
+        return self.semiring.sum(self._annotations.values())
+
+    def check_consistency(self) -> None:
+        """Validate that every stored annotation is a non-zero carrier element."""
+        for tup, annotation in self._annotations.items():
+            if not self.semiring.contains(annotation):
+                raise SemiringError(
+                    f"annotation {annotation!r} of {tup} is not in {self.semiring.name}"
+                )
+            if self.semiring.is_zero(annotation):
+                raise SemiringError(f"stored zero annotation for {tup}")

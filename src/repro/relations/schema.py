@@ -1,0 +1,84 @@
+"""Relation schemas (finite attribute sets with a preferred display order)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An ordered collection of distinct attribute names.
+
+    Semantically a schema is just the finite attribute set ``U`` of the named
+    perspective; the order is retained only so that relations print in a
+    stable, human-friendly column order (matching the paper's figures).
+    """
+
+    __slots__ = ("_attributes",)
+
+    def __init__(self, attributes: Iterable[str]):
+        ordered = [str(a) for a in attributes]
+        if len(set(ordered)) != len(ordered):
+            raise SchemaError(f"duplicate attributes in schema {ordered}")
+        object.__setattr__(self, "_attributes", tuple(ordered))
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in display order."""
+        return self._attributes
+
+    @property
+    def attribute_set(self) -> frozenset[str]:
+        """Attribute names as a set (the ``U`` of the named perspective)."""
+        return frozenset(self._attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._attributes
+
+    # -- operations -----------------------------------------------------------
+    def project(self, attributes: Iterable[str]) -> "Schema":
+        """Schema of a projection onto ``attributes`` (kept in the given order)."""
+        wanted = [str(a) for a in attributes]
+        missing = set(wanted) - self.attribute_set
+        if missing:
+            raise SchemaError(f"cannot project on unknown attributes {sorted(missing)}")
+        return Schema(wanted)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Schema after renaming attributes by the (injective) ``mapping``."""
+        renamed = [mapping.get(a, a) for a in self._attributes]
+        return Schema(renamed)
+
+    def join(self, other: "Schema") -> "Schema":
+        """Schema of a natural join: this schema followed by the new attributes."""
+        extra = [a for a in other.attributes if a not in self.attribute_set]
+        return Schema(self._attributes + tuple(extra))
+
+    def is_compatible_with(self, other: "Schema") -> bool:
+        """Whether the two schemas have the same attribute set (union-compatible)."""
+        return self.attribute_set == other.attribute_set
+
+    # -- protocol --------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.attribute_set == other.attribute_set
+
+    def __hash__(self) -> int:
+        return hash(("Schema", self.attribute_set))
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attributes)})"
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self._attributes) + ")"

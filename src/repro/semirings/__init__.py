@@ -1,0 +1,99 @@
+"""Semiring structures for annotated relations.
+
+This subpackage implements every annotation structure used in the paper:
+
+* :class:`~repro.semirings.boolean.BooleanSemiring` -- set semantics;
+* :class:`~repro.semirings.numeric.NaturalsSemiring` /
+  :class:`~repro.semirings.numeric.CompletedNaturalsSemiring` -- bag
+  semantics and its omega-continuous completion;
+* :class:`~repro.semirings.posbool.PosBoolSemiring` -- Boolean c-table
+  conditions (incomplete databases);
+* :class:`~repro.semirings.events.EventSemiring` -- probabilistic event
+  tables;
+* :class:`~repro.semirings.lineage.WhyProvenanceSemiring` -- why-provenance;
+* :class:`~repro.semirings.polynomial.PolynomialSemiring` -- provenance
+  polynomials ``N[X]`` (Definition 4.1);
+* :class:`~repro.semirings.power_series.PowerSeriesSemiring` -- datalog
+  provenance ``N-inf[[X]]`` (Definition 6.1);
+* plus the tropical, fuzzy, Viterbi and product semirings.
+"""
+
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BooleanSemiring
+from repro.semirings.events import EventSemiring, EventSpace
+from repro.semirings.fuzzy import FuzzySemiring, ViterbiSemiring
+from repro.semirings.homomorphism import (
+    SemiringHomomorphism,
+    check_homomorphism,
+    polynomial_evaluation,
+    series_evaluation,
+)
+from repro.semirings.lineage import (
+    BOTTOM,
+    WhyProvenanceSemiring,
+    WitnessWhySemiring,
+    witness_set,
+)
+from repro.semirings.numeric import (
+    INFINITY,
+    CompletedNaturalsSemiring,
+    NatInf,
+    NaturalsSemiring,
+)
+from repro.semirings.polynomial import (
+    Monomial,
+    Polynomial,
+    PolynomialSemiring,
+    ProvenancePolynomialSemiring,
+)
+from repro.semirings.posbool import BoolExpr, PosBoolSemiring
+from repro.semirings.power_series import FormalPowerSeries, PowerSeriesSemiring
+from repro.semirings.product import ProductSemiring
+from repro.semirings.properties import (
+    PropertyReport,
+    check_distributive_lattice,
+    check_semiring_axioms,
+)
+from repro.semirings.registry import (
+    available_semirings,
+    get_semiring,
+    register_semiring,
+)
+from repro.semirings.tropical import TropicalSemiring
+
+__all__ = [
+    "Semiring",
+    "BooleanSemiring",
+    "NaturalsSemiring",
+    "CompletedNaturalsSemiring",
+    "NatInf",
+    "INFINITY",
+    "TropicalSemiring",
+    "FuzzySemiring",
+    "ViterbiSemiring",
+    "PosBoolSemiring",
+    "BoolExpr",
+    "WhyProvenanceSemiring",
+    "WitnessWhySemiring",
+    "witness_set",
+    "BOTTOM",
+    "EventSemiring",
+    "EventSpace",
+    "Monomial",
+    "Polynomial",
+    "PolynomialSemiring",
+    "ProvenancePolynomialSemiring",
+    "FormalPowerSeries",
+    "PowerSeriesSemiring",
+    "ProductSemiring",
+    "SemiringHomomorphism",
+    "polynomial_evaluation",
+    "series_evaluation",
+    "check_homomorphism",
+    "PropertyReport",
+    "check_semiring_axioms",
+    "check_distributive_lattice",
+    "get_semiring",
+    "register_semiring",
+    "available_semirings",
+]

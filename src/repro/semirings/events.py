@@ -1,0 +1,141 @@
+"""The event-set semiring ``(P(Omega), U, intersection, {}, Omega)``.
+
+Probabilistic databases in the style of Fuhr-Roelleke and Zimanyi annotate
+tuples with *events* -- measurable subsets of a finite sample space
+``Omega`` of possible worlds (Section 2 and Figure 4 of the paper).  Query
+answering combines events by union (for alternative derivations) and
+intersection (for joint occurrence); this is exactly the positive algebra of
+Definition 3.2 over ``(P(Omega), U, intersection, {}, Omega)``, which is a
+finite bounded distributive lattice.
+
+The sample space is represented explicitly by an :class:`EventSpace`, and
+annotations are frozensets of world identifiers.  Probabilities are computed
+by summing world weights; see :mod:`repro.probabilistic` for the layer that
+builds event spaces out of independent Boolean events, as in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.errors import InvalidAnnotationError, SemiringError
+from repro.semirings.base import Semiring
+
+__all__ = ["EventSpace", "EventSemiring"]
+
+
+class EventSpace:
+    """A finite sample space: world identifiers with probability weights.
+
+    Weights must be non-negative and sum to 1 (within floating tolerance)
+    unless ``normalize=True`` is passed, in which case they are rescaled.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[Hashable, float],
+        *,
+        normalize: bool = False,
+        tolerance: float = 1e-9,
+    ):
+        if not weights:
+            raise SemiringError("an event space needs at least one world")
+        total = float(sum(weights.values()))
+        if any(w < 0 for w in weights.values()):
+            raise SemiringError("world weights must be non-negative")
+        if normalize:
+            if total == 0:
+                raise SemiringError("cannot normalize an all-zero weighting")
+            self._weights = {w: p / total for w, p in weights.items()}
+        else:
+            if abs(total - 1.0) > tolerance:
+                raise SemiringError(
+                    f"world weights must sum to 1 (got {total}); pass normalize=True"
+                )
+            self._weights = dict(weights)
+
+    @property
+    def worlds(self) -> frozenset:
+        """All world identifiers."""
+        return frozenset(self._weights)
+
+    def weight(self, world: Hashable) -> float:
+        """Probability mass of a single world."""
+        return self._weights[world]
+
+    def probability(self, event: Iterable[Hashable]) -> float:
+        """Probability of an event (a set of worlds)."""
+        event = frozenset(event)
+        unknown = event - self.worlds
+        if unknown:
+            raise SemiringError(f"unknown worlds in event: {sorted(map(str, unknown))}")
+        return sum(self._weights[w] for w in event)
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"EventSpace({len(self._weights)} worlds)"
+
+
+class EventSemiring(Semiring):
+    """``(P(Omega), U, intersection, {}, Omega)`` for a finite space ``Omega``."""
+
+    name = "P(Ω)"
+    idempotent_add = True
+    idempotent_mul = True
+    is_omega_continuous = True
+    is_distributive_lattice = True
+    has_top = True
+
+    def __init__(self, space: EventSpace):
+        self.space = space
+        self.name = f"P(Ω) over {len(space)} worlds"
+
+    def zero(self) -> frozenset:
+        return frozenset()
+
+    def one(self) -> frozenset:
+        return self.space.worlds
+
+    def add(self, a: frozenset, b: frozenset) -> frozenset:
+        return self.coerce(a) | self.coerce(b)
+
+    def mul(self, a: frozenset, b: frozenset) -> frozenset:
+        return self.coerce(a) & self.coerce(b)
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, frozenset) and value <= self.space.worlds
+
+    def coerce(self, value: Any) -> frozenset:
+        if isinstance(value, (set, list, tuple, frozenset)):
+            event = frozenset(value)
+        else:
+            raise InvalidAnnotationError(f"{value!r} is not an event (set of worlds)")
+        if not event <= self.space.worlds:
+            raise InvalidAnnotationError(
+                f"event {sorted(map(str, event))} mentions worlds outside the space"
+            )
+        return event
+
+    def top(self) -> frozenset:
+        return self.space.worlds
+
+    def leq(self, a: frozenset, b: frozenset) -> bool:
+        return self.coerce(a) <= self.coerce(b)
+
+    def star(self, a: frozenset) -> frozenset:
+        """``a* = Omega`` since the unit is the full space."""
+        return self.space.worlds
+
+    def probability(self, value: frozenset) -> float:
+        """Probability of an annotation under the space's world weights."""
+        return self.space.probability(self.coerce(value))
+
+    def format_value(self, value: Any) -> str:
+        event = self.coerce(value)
+        if event == self.space.worlds:
+            return "Ω"
+        if not event:
+            return "∅"
+        return "{" + ", ".join(sorted(map(str, event))) + "}"

@@ -1,0 +1,148 @@
+"""Semiring homomorphisms and the evaluation maps ``Eval_v``.
+
+Proposition 3.5 of the paper: a map ``h : K -> K'`` applied tuple-wise to
+annotations commutes with every positive-algebra query exactly when ``h`` is
+a semiring homomorphism (``h(0) = 0``, ``h(1) = 1``, ``h(a + b) = h(a) + h(b)``,
+``h(a . b) = h(a) . h(b)``).  Proposition 5.7 adds omega-continuity as the
+condition for commuting with datalog queries.
+
+The most important homomorphisms are the polynomial evaluations
+``Eval_v : N[X] -> K`` of Proposition 4.2 (and their power-series analogue,
+Proposition 6.3): given a valuation ``v`` of the tuple-id variables into
+``K``, evaluating the provenance polynomial of each output tuple recovers the
+K-annotation the query would have computed directly.  That is the
+factorization Theorem 4.3 / 6.4, and :func:`polynomial_evaluation` /
+:func:`series_evaluation` are its operational form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.polynomial import Polynomial
+from repro.semirings.power_series import FormalPowerSeries
+
+__all__ = [
+    "SemiringHomomorphism",
+    "polynomial_evaluation",
+    "series_evaluation",
+    "check_homomorphism",
+]
+
+
+class SemiringHomomorphism:
+    """A function between semirings, packaged with its source and target.
+
+    The class does not *verify* the homomorphism laws on construction (they
+    are generally undecidable for arbitrary callables); use
+    :func:`check_homomorphism` to test them on sample elements, which is what
+    the property-based tests do.
+    """
+
+    def __init__(
+        self,
+        source: Semiring,
+        target: Semiring,
+        function: Callable[[Any], Any],
+        name: str | None = None,
+    ):
+        self.source = source
+        self.target = target
+        self._function = function
+        self.name = name or f"{source.name} → {target.name}"
+
+    def __call__(self, value: Any) -> Any:
+        """Apply the homomorphism to a single annotation."""
+        return self._function(self.source.coerce(value))
+
+    def compose(self, other: "SemiringHomomorphism") -> "SemiringHomomorphism":
+        """Return ``self . other`` (apply ``other`` first)."""
+        if other.target is not self.source and other.target.name != self.source.name:
+            raise SemiringError(
+                f"cannot compose {self.name} after {other.name}: semirings do not match"
+            )
+        return SemiringHomomorphism(
+            other.source,
+            self.target,
+            lambda value: self(other(value)),
+            name=f"{self.name} ∘ {other.name}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<SemiringHomomorphism {self.name}>"
+
+
+def polynomial_evaluation(
+    target: Semiring, valuation: Mapping[str, Any], *, name: str | None = None
+) -> SemiringHomomorphism:
+    """The homomorphism ``Eval_v : N[X] -> K`` of Proposition 4.2.
+
+    ``valuation`` maps each tuple-id variable to its annotation in the target
+    semiring; the returned homomorphism evaluates provenance polynomials
+    accordingly.  Values in the valuation are coerced into the target.
+    """
+    from repro.semirings.polynomial import PolynomialSemiring
+
+    coerced = {variable: target.coerce(value) for variable, value in valuation.items()}
+    return SemiringHomomorphism(
+        PolynomialSemiring(allow_infinite_coefficients=True),
+        target,
+        lambda polynomial: Polynomial.of(polynomial).evaluate(target, coerced),
+        name=name or f"Eval_v into {target.name}",
+    )
+
+
+def series_evaluation(
+    target: Semiring, valuation: Mapping[str, Any], *, name: str | None = None
+) -> SemiringHomomorphism:
+    """The omega-continuous ``Eval_v : N-inf[[X]] -> K`` of Proposition 6.3.
+
+    The target must be omega-continuous; for truncated series the evaluation
+    covers the stored terms (exact when the series is exact).
+    """
+    from repro.semirings.power_series import PowerSeriesSemiring
+
+    if not target.is_omega_continuous:
+        raise SemiringError(
+            f"series evaluation requires an ω-continuous target, got {target.name}"
+        )
+    coerced = {variable: target.coerce(value) for variable, value in valuation.items()}
+    return SemiringHomomorphism(
+        PowerSeriesSemiring(truncation_degree=10**9),
+        target,
+        lambda series: FormalPowerSeries.of(series).evaluate(target, coerced),
+        name=name or f"Eval_v (series) into {target.name}",
+    )
+
+
+def check_homomorphism(
+    homomorphism: SemiringHomomorphism, sample: Iterable[Any]
+) -> list[str]:
+    """Check the homomorphism laws on all pairs drawn from ``sample``.
+
+    Returns a list of human-readable violations (empty when none were found
+    on the sample).  Used by the property-based tests for Propositions 3.5
+    and 4.2.
+    """
+    source, target = homomorphism.source, homomorphism.target
+    violations: list[str] = []
+    elements = [source.coerce(value) for value in sample]
+
+    if homomorphism(source.zero()) != target.zero():
+        violations.append("h(0) != 0")
+    if homomorphism(source.one()) != target.one():
+        violations.append("h(1) != 1")
+
+    for a in elements:
+        for b in elements:
+            lhs = homomorphism(source.add(a, b))
+            rhs = target.add(homomorphism(a), homomorphism(b))
+            if lhs != rhs:
+                violations.append(f"h({a} + {b}) = {lhs} != {rhs}")
+            lhs = homomorphism(source.mul(a, b))
+            rhs = target.mul(homomorphism(a), homomorphism(b))
+            if lhs != rhs:
+                violations.append(f"h({a} · {b}) = {lhs} != {rhs}")
+    return violations

@@ -1,0 +1,207 @@
+"""Lineage / why-provenance semirings.
+
+Section 4 of the paper recalls that *why-provenance* (also called lineage)
+annotates each output tuple with the set of input tuples that contribute to
+it, and observes that computing it is exactly the generic positive algebra of
+Definition 3.2 instantiated at the semiring ``(P(X), U, U, {}, {})`` where
+``X`` is the set of input tuple identifiers and *both* operations are union.
+
+Taken literally, ``(P(X), U, U, {}, {})`` has ``0 = 1 = {}`` and therefore
+violates the annihilation axiom (``a . 0 = 0``); the standard repair -- used
+in the authors' own follow-up work -- is the *lineage semiring* ``Lin(X)``,
+which adds a distinct bottom element ``⊥`` as the zero while keeping ``{}``
+as the one.  On every example in the paper the two behave identically
+(``⊥`` only ever annotates absent tuples), so :class:`WhyProvenanceSemiring`
+implements ``Lin(X)`` and reproduces Figure 5(b) exactly while satisfying
+all the semiring laws.
+
+Two closely related structures are provided:
+
+* :class:`WhyProvenanceSemiring` -- lineage / why-provenance as above.
+* :class:`WitnessWhySemiring` -- the finer "witness set" variant of Buneman,
+  Khanna & Tan, where an annotation is a *set of sets* of contributing tuples
+  (one inner set per derivation).  It is not used by the paper's examples but
+  is the standard intermediate point between lineage and the provenance
+  polynomials of ``N[X]``, and is included to let users compare all three.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable
+
+from repro.errors import InvalidAnnotationError
+from repro.semirings.base import Semiring
+
+__all__ = ["BOTTOM", "WhyProvenanceSemiring", "WitnessWhySemiring", "witness_set"]
+
+
+class _Bottom:
+    """The distinguished zero (⊥) of the lineage semiring ``Lin(X)``."""
+
+    _instance: "_Bottom | None" = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __hash__(self) -> int:
+        return hash("lineage-bottom")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Bottom)
+
+
+#: The zero element ("no lineage, tuple absent") of :class:`WhyProvenanceSemiring`.
+BOTTOM = _Bottom()
+
+
+def _as_frozenset(value: Any, name: str) -> frozenset:
+    if isinstance(value, frozenset):
+        return value
+    if isinstance(value, (set, list, tuple)):
+        return frozenset(value)
+    if isinstance(value, str):
+        return frozenset({value})
+    raise InvalidAnnotationError(f"{value!r} is not a set annotation for {name}")
+
+
+class WhyProvenanceSemiring(Semiring):
+    """The lineage semiring ``Lin(X) = (P(X) ∪ {⊥}, +, ·, ⊥, {})``.
+
+    Annotations of present tuples are frozensets of contributing tuple ids;
+    ``⊥`` (exposed as :data:`BOTTOM`) tags absent tuples.  Both operations
+    are set union on present annotations -- this is the paper's
+    why-provenance computation of Figure 5(b) -- while ``⊥`` behaves as a
+    proper annihilating zero, repairing the annihilation axiom that the naive
+    ``0 = 1 = {}`` reading of the paper's structure violates.
+    """
+
+    name = "Why(X)"
+    idempotent_add = True
+    idempotent_mul = True
+    is_omega_continuous = True
+    is_distributive_lattice = False
+
+    def zero(self) -> Any:
+        return BOTTOM
+
+    def one(self) -> frozenset:
+        return frozenset()
+
+    def add(self, a: Any, b: Any) -> Any:
+        a, b = self.coerce(a), self.coerce(b)
+        if isinstance(a, _Bottom):
+            return b
+        if isinstance(b, _Bottom):
+            return a
+        return a | b
+
+    def mul(self, a: Any, b: Any) -> Any:
+        a, b = self.coerce(a), self.coerce(b)
+        if isinstance(a, _Bottom) or isinstance(b, _Bottom):
+            return BOTTOM
+        return a | b
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (frozenset, _Bottom))
+
+    def coerce(self, value: Any) -> Any:
+        if isinstance(value, _Bottom):
+            return value
+        if value is None:
+            return BOTTOM
+        return _as_frozenset(value, self.name)
+
+    def leq(self, a: Any, b: Any) -> bool:
+        a, b = self.coerce(a), self.coerce(b)
+        if isinstance(a, _Bottom):
+            return True
+        if isinstance(b, _Bottom):
+            return False
+        return a <= b
+
+    def star(self, a: Any) -> Any:
+        """``a* = 1 + a + ... = {} ∪ a``, i.e. ``a`` itself for present annotations."""
+        a = self.coerce(a)
+        if isinstance(a, _Bottom):
+            return frozenset()
+        return a
+
+    def format_value(self, value: Any) -> str:
+        value = self.coerce(value)
+        if isinstance(value, _Bottom):
+            return "⊥"
+        if not value:
+            return "{}"
+        return "{" + ", ".join(sorted(map(str, value))) + "}"
+
+
+def witness_set(*witnesses: Iterable[str]) -> frozenset[FrozenSet[str]]:
+    """Build a witness-why annotation from an iterable of witnesses.
+
+    Each witness is a set of input tuple identifiers sufficient to derive the
+    output tuple.  ``witness_set({"p"}, {"r", "s"})`` builds the annotation
+    ``{{p}, {r, s}}``.
+    """
+    return frozenset(frozenset(map(str, witness)) for witness in witnesses)
+
+
+class WitnessWhySemiring(Semiring):
+    """Witness-set why-provenance: annotations are sets of witnesses.
+
+    Addition unions the witness collections; multiplication combines every
+    witness of one side with every witness of the other (pairwise union).
+    ``0`` is the empty collection, ``1`` is the collection containing only the
+    empty witness.  This is ``PosBool`` without absorption-minimization --
+    equivalently, the "why provenance" of Buneman et al. -- and sits between
+    lineage and the provenance polynomials in informativeness.
+    """
+
+    name = "Why-witness(X)"
+    idempotent_add = True
+    idempotent_mul = False
+    is_omega_continuous = True
+    is_distributive_lattice = False
+
+    def zero(self) -> frozenset:
+        return frozenset()
+
+    def one(self) -> frozenset:
+        return frozenset({frozenset()})
+
+    def add(self, a: frozenset, b: frozenset) -> frozenset:
+        return self.coerce(a) | self.coerce(b)
+
+    def mul(self, a: frozenset, b: frozenset) -> frozenset:
+        a, b = self.coerce(a), self.coerce(b)
+        return frozenset(w1 | w2 for w1 in a for w2 in b)
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, frozenset) and all(
+            isinstance(w, frozenset) for w in value
+        )
+
+    def coerce(self, value: Any) -> frozenset:
+        if self.contains(value):
+            return value
+        if isinstance(value, str):
+            return frozenset({frozenset({value})})
+        if isinstance(value, (set, list, tuple, frozenset)):
+            return frozenset(frozenset(map(str, w)) for w in value)
+        raise InvalidAnnotationError(
+            f"{value!r} is not a witness-set annotation for {self.name}"
+        )
+
+    def leq(self, a: frozenset, b: frozenset) -> bool:
+        return self.coerce(a) <= self.coerce(b)
+
+    def format_value(self, value: Any) -> str:
+        value = self.coerce(value)
+        witnesses = sorted(
+            ("{" + ", ".join(sorted(w)) + "}") for w in value
+        )
+        return "{" + ", ".join(witnesses) + "}"

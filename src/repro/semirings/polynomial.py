@@ -1,0 +1,554 @@
+"""Provenance polynomials: the semiring ``N[X]`` (and ``K[X]`` generally).
+
+Section 4 of the paper proposes annotating output tuples with *polynomials*
+over the input tuple identifiers: the provenance semiring of a database
+instance with tuple ids ``X`` is ``(N[X], +, ., 0, 1)``, polynomials in
+commuting variables ``X`` with natural-number coefficients.  Such a
+polynomial fully documents *how* an output tuple was produced: each monomial
+is one derivation (which input tuples were joined, with multiplicity), and
+the coefficient counts how many derivations use exactly that combination
+(Figure 5(c)).
+
+Universality (Proposition 4.2): for every commutative semiring ``K`` and
+valuation ``v : X -> K`` there is a unique homomorphism
+``Eval_v : N[X] -> K`` with ``Eval_v(x) = v(x)``; hence every K-annotation
+computation factors through the provenance computation (Theorem 4.3).  The
+evaluation homomorphism is implemented by :meth:`Polynomial.evaluate` and
+wrapped as a proper homomorphism object in
+:mod:`repro.semirings.homomorphism`.
+
+Coefficients are, by default, Python non-negative ``int`` values (the
+semiring ``N``); :class:`~repro.semirings.numeric.NatInf` coefficients are
+also supported so the same class doubles as ``N-inf[X]``, the polynomial
+fragment of the datalog provenance semiring of Section 6.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import InvalidAnnotationError, ParseError, SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.numeric import INFINITY, NatInf
+
+__all__ = ["Monomial", "Polynomial", "PolynomialSemiring", "ProvenancePolynomialSemiring"]
+
+
+class Monomial:
+    """A commutative monomial: a map from variable name to positive exponent.
+
+    The empty monomial (written ``1`` or epsilon in the paper) has no
+    variables and acts as the multiplicative unit.  Instances are immutable
+    and hashable and are ordered by (total degree, sorted variable powers),
+    which gives deterministic printing of polynomials.
+    """
+
+    __slots__ = ("_powers",)
+
+    def __init__(self, powers: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        items: Dict[str, int] = {}
+        pairs = powers.items() if isinstance(powers, Mapping) else powers
+        for variable, exponent in pairs:
+            if not isinstance(exponent, int) or exponent < 0:
+                raise InvalidAnnotationError(
+                    f"exponent of {variable!r} must be a non-negative int, got {exponent!r}"
+                )
+            if exponent:
+                items[str(variable)] = items.get(str(variable), 0) + exponent
+        object.__setattr__(self, "_powers", tuple(sorted(items.items())))
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def unit(cls) -> "Monomial":
+        """The empty monomial ``1``."""
+        return cls(())
+
+    @classmethod
+    def var(cls, name: str, exponent: int = 1) -> "Monomial":
+        """The monomial ``name^exponent``."""
+        return cls(((name, exponent),))
+
+    @classmethod
+    def from_bag(cls, variables: Iterable[str]) -> "Monomial":
+        """Build a monomial from a multiset of variable occurrences.
+
+        ``from_bag(["r", "s", "s"])`` is ``r . s^2`` -- this matches the
+        paper's view of a derivation-tree fringe as a bag of leaf labels.
+        """
+        powers: Dict[str, int] = {}
+        for variable in variables:
+            powers[str(variable)] = powers.get(str(variable), 0) + 1
+        return cls(powers)
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def powers(self) -> Tuple[tuple[str, int], ...]:
+        """Sorted tuple of (variable, exponent) pairs."""
+        return self._powers
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """The variables occurring with non-zero exponent."""
+        return frozenset(v for v, _ in self._powers)
+
+    @property
+    def degree(self) -> int:
+        """Total degree (sum of exponents)."""
+        return sum(e for _, e in self._powers)
+
+    def exponent(self, variable: str) -> int:
+        """Exponent of ``variable`` (0 when absent)."""
+        for v, e in self._powers:
+            if v == variable:
+                return e
+        return 0
+
+    def is_unit(self) -> bool:
+        """Whether this is the empty monomial."""
+        return not self._powers
+
+    def divides(self, other: "Monomial") -> bool:
+        """Whether this monomial divides ``other`` (component-wise <=)."""
+        return all(other.exponent(v) >= e for v, e in self._powers)
+
+    # -- algebra ---------------------------------------------------------------
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        powers = dict(self._powers)
+        for variable, exponent in other._powers:
+            powers[variable] = powers.get(variable, 0) + exponent
+        return Monomial(powers)
+
+    def __pow__(self, exponent: int) -> "Monomial":
+        if exponent < 0:
+            raise SemiringError("monomials cannot have negative powers")
+        return Monomial({v: e * exponent for v, e in self._powers})
+
+    def evaluate(self, semiring: Semiring, valuation: Mapping[str, Any]) -> Any:
+        """Evaluate the monomial in ``semiring`` under ``valuation``."""
+        result = semiring.one()
+        for variable, exponent in self._powers:
+            if variable not in valuation:
+                raise SemiringError(f"valuation is missing variable {variable!r}")
+            result = semiring.mul(
+                result, semiring.power(valuation[variable], exponent)
+            )
+        return result
+
+    # -- protocol --------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        return self._powers == other._powers
+
+    def __hash__(self) -> int:
+        return hash(("Monomial", self._powers))
+
+    def __lt__(self, other: "Monomial") -> bool:
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        return (self.degree, self._powers) < (other.degree, other._powers)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(self._powers)
+
+    def __repr__(self) -> str:
+        return f"Monomial({self})"
+
+    def __str__(self) -> str:
+        if not self._powers:
+            return "1"
+        parts = []
+        for variable, exponent in self._powers:
+            parts.append(variable if exponent == 1 else f"{variable}^{exponent}")
+        return "·".join(parts)
+
+
+_TERM_RE = re.compile(r"\s*([+])?\s*([^+]+)")
+_FACTOR_RE = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)(?:\^(\d+))?$|^(\d+|∞)$")
+
+
+class Polynomial:
+    """A polynomial: a finite map from :class:`Monomial` to a coefficient.
+
+    Coefficients are non-negative integers or :class:`NatInf` values; zero
+    coefficients are never stored.  Instances are immutable and hashable so
+    they can serve directly as K-relation annotations.
+
+    The arithmetic operators ``+`` and ``*`` implement the polynomial
+    semiring operations; :meth:`evaluate` is the ``Eval_v`` homomorphism of
+    Proposition 4.2.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, Any] | Iterable[tuple[Monomial, Any]] = ()):
+        collected: Dict[Monomial, Any] = {}
+        pairs = terms.items() if isinstance(terms, Mapping) else terms
+        for monomial, coefficient in pairs:
+            if not isinstance(monomial, Monomial):
+                raise InvalidAnnotationError(f"{monomial!r} is not a Monomial")
+            coefficient = _check_coefficient(coefficient)
+            if _is_zero_coefficient(coefficient):
+                continue
+            if monomial in collected:
+                collected[monomial] = collected[monomial] + coefficient
+            else:
+                collected[monomial] = coefficient
+        object.__setattr__(
+            self, "_terms", tuple(sorted(collected.items(), key=lambda kv: kv[0]))
+        )
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(())
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The unit polynomial ``1``."""
+        return cls({Monomial.unit(): 1})
+
+    @classmethod
+    def var(cls, name: str) -> "Polynomial":
+        """The polynomial consisting of the single variable ``name``."""
+        return cls({Monomial.var(name): 1})
+
+    @classmethod
+    def constant(cls, value: int | NatInf) -> "Polynomial":
+        """A constant polynomial."""
+        return cls({Monomial.unit(): value})
+
+    @classmethod
+    def monomial(cls, monomial: Monomial, coefficient: int | NatInf = 1) -> "Polynomial":
+        """A single-term polynomial ``coefficient . monomial``."""
+        return cls({monomial: coefficient})
+
+    @classmethod
+    def of(cls, value: "Polynomial | Monomial | str | int | NatInf") -> "Polynomial":
+        """Coerce a variable name, number, monomial or polynomial."""
+        if isinstance(value, Polynomial):
+            return value
+        if isinstance(value, Monomial):
+            return cls.monomial(value)
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, bool):
+            return cls.one() if value else cls.zero()
+        if isinstance(value, (int, NatInf)):
+            return cls.constant(value)
+        raise InvalidAnnotationError(f"{value!r} cannot be read as a polynomial")
+
+    @classmethod
+    def parse(cls, text: str) -> "Polynomial":
+        """Parse ``"2*p^2 + r*s"``-style polynomial syntax.
+
+        Supported syntax: terms joined by ``+``; each term is a ``*`` or
+        ``·``-separated list of factors, where a factor is either a
+        non-negative integer, the infinity symbol ``∞``, or ``var`` /
+        ``var^k``.  A bare variable name parses as that variable.
+        """
+        text = text.strip()
+        if not text:
+            return cls.zero()
+        terms: Dict[Monomial, Any] = {}
+        for raw_term in text.split("+"):
+            raw_term = raw_term.strip()
+            if not raw_term:
+                raise ParseError(f"empty term in polynomial {text!r}")
+            coefficient: Any = 1
+            powers: Dict[str, int] = {}
+            for raw_factor in re.split(r"[*·]", raw_term):
+                raw_factor = raw_factor.strip()
+                if not raw_factor:
+                    raise ParseError(f"empty factor in term {raw_term!r}")
+                match = _FACTOR_RE.match(raw_factor)
+                if not match:
+                    raise ParseError(f"cannot parse factor {raw_factor!r}")
+                if match.group(3) is not None:
+                    value = INFINITY if match.group(3) == "∞" else int(match.group(3))
+                    coefficient = coefficient * value
+                else:
+                    variable = match.group(1)
+                    exponent = int(match.group(2)) if match.group(2) else 1
+                    powers[variable] = powers.get(variable, 0) + exponent
+            monomial = Monomial(powers)
+            if monomial in terms:
+                terms[monomial] = terms[monomial] + coefficient
+            else:
+                terms[monomial] = coefficient
+        return cls(terms)
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def terms(self) -> Tuple[tuple[Monomial, Any], ...]:
+        """Sorted tuple of (monomial, coefficient) pairs with non-zero coefficients."""
+        return self._terms
+
+    @property
+    def monomials(self) -> tuple[Monomial, ...]:
+        """The monomials with non-zero coefficient, in canonical order."""
+        return tuple(m for m, _ in self._terms)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """All variables occurring in the polynomial."""
+        result: set[str] = set()
+        for monomial, _ in self._terms:
+            result |= monomial.variables
+        return frozenset(result)
+
+    @property
+    def degree(self) -> int:
+        """Total degree (0 for the zero polynomial)."""
+        return max((m.degree for m, _ in self._terms), default=0)
+
+    def coefficient(self, monomial: Monomial | str) -> Any:
+        """Coefficient of ``monomial`` (0 when absent)."""
+        if isinstance(monomial, str):
+            single = Polynomial.parse(monomial)
+            if len(single._terms) != 1 or not _is_one_coefficient(single._terms[0][1]):
+                raise ParseError(f"{monomial!r} does not denote a single monomial")
+            monomial = single._terms[0][0]
+        for m, c in self._terms:
+            if m == monomial:
+                return c
+        return 0
+
+    def is_zero(self) -> bool:
+        """Whether this is the zero polynomial."""
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        """Whether the polynomial has no variables."""
+        return all(m.is_unit() for m, _ in self._terms)
+
+    def has_infinite_coefficient(self) -> bool:
+        """Whether any coefficient is the infinite value of ``N-inf``."""
+        return any(isinstance(c, NatInf) and c.is_infinite for _, c in self._terms)
+
+    def number_of_derivations(self) -> Any:
+        """Total number of derivations: the sum of all coefficients.
+
+        Under the bag interpretation this is the multiplicity obtained by
+        setting every variable to 1.
+        """
+        total: Any = 0
+        for _, coefficient in self._terms:
+            total = total + coefficient
+        return total
+
+    # -- algebra ---------------------------------------------------------------
+    def __add__(self, other: "Polynomial | str | int") -> "Polynomial":
+        other = Polynomial.of(other)
+        terms: Dict[Monomial, Any] = dict(self._terms)
+        for monomial, coefficient in other._terms:
+            if monomial in terms:
+                terms[monomial] = terms[monomial] + coefficient
+            else:
+                terms[monomial] = coefficient
+        return Polynomial(terms)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: "Polynomial | str | int") -> "Polynomial":
+        other = Polynomial.of(other)
+        terms: Dict[Monomial, Any] = {}
+        for m1, c1 in self._terms:
+            for m2, c2 in other._terms:
+                monomial = m1 * m2
+                coefficient = c1 * c2
+                if monomial in terms:
+                    terms[monomial] = terms[monomial] + coefficient
+                else:
+                    terms[monomial] = coefficient
+        return Polynomial(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise SemiringError("polynomials cannot be raised to negative powers")
+        result = Polynomial.one()
+        for _ in range(exponent):
+            result = result * self
+        return result
+
+    def truncate(self, max_degree: int) -> "Polynomial":
+        """Drop every term of total degree greater than ``max_degree``."""
+        return Polynomial(
+            {m: c for m, c in self._terms if m.degree <= max_degree}
+        )
+
+    def map_coefficients(self, function) -> "Polynomial":
+        """Apply ``function`` to every coefficient (dropping resulting zeros)."""
+        return Polynomial({m: function(c) for m, c in self._terms})
+
+    def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
+        """Rename variables according to ``mapping`` (missing names unchanged)."""
+        terms: Dict[Monomial, Any] = {}
+        for monomial, coefficient in self._terms:
+            renamed = Monomial(
+                {mapping.get(v, v): e for v, e in monomial.powers}
+            )
+            if renamed in terms:
+                terms[renamed] = terms[renamed] + coefficient
+            else:
+                terms[renamed] = coefficient
+        return Polynomial(terms)
+
+    def evaluate(self, semiring: Semiring, valuation: Mapping[str, Any]) -> Any:
+        """Evaluate in ``semiring`` under ``valuation`` (the ``Eval_v`` map).
+
+        Integer coefficients ``n`` become the ``n``-fold sum of the monomial's
+        value, per Proposition 4.2; infinite coefficients require the target
+        to be omega-continuous and are evaluated as the supremum of the
+        finite multiples.
+        """
+        result = semiring.zero()
+        for monomial, coefficient in self._terms:
+            value = monomial.evaluate(semiring, valuation)
+            result = semiring.add(result, _scale_in(semiring, coefficient, value))
+        return result
+
+    # -- protocol --------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, str, Monomial, NatInf)):
+            try:
+                other = Polynomial.of(other)
+            except (InvalidAnnotationError, ParseError):
+                return NotImplemented
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(("Polynomial", self._terms))
+
+    def __bool__(self) -> bool:
+        return bool(self._terms)
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self})"
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        rendered = []
+        for monomial, coefficient in self._terms:
+            if monomial.is_unit():
+                rendered.append(str(coefficient))
+            elif _is_one_coefficient(coefficient):
+                rendered.append(str(monomial))
+            else:
+                rendered.append(f"{coefficient}·{monomial}")
+        return " + ".join(rendered)
+
+
+def _check_coefficient(coefficient: Any) -> Any:
+    if isinstance(coefficient, bool):
+        return 1 if coefficient else 0
+    if isinstance(coefficient, NatInf):
+        return coefficient
+    if isinstance(coefficient, int) and coefficient >= 0:
+        return coefficient
+    raise InvalidAnnotationError(
+        f"{coefficient!r} is not a valid polynomial coefficient (need N or N-inf)"
+    )
+
+
+def _is_zero_coefficient(coefficient: Any) -> bool:
+    return (isinstance(coefficient, int) and coefficient == 0) or (
+        isinstance(coefficient, NatInf) and coefficient == NatInf(0)
+    )
+
+
+def _is_one_coefficient(coefficient: Any) -> bool:
+    return coefficient == 1 or coefficient == NatInf(1)
+
+
+def _scale_in(semiring: Semiring, coefficient: Any, value: Any) -> Any:
+    """Compute ``coefficient . value`` in ``semiring`` (coefficient in N-inf)."""
+    if isinstance(coefficient, NatInf) and coefficient.is_infinite:
+        if semiring.is_zero(value):
+            return semiring.zero()
+        if semiring.idempotent_add:
+            return value
+        if semiring.has_top:
+            return semiring.top()
+        raise SemiringError(
+            f"cannot evaluate an infinite coefficient in {semiring.name}: "
+            "the semiring is neither idempotent nor topped"
+        )
+    count = coefficient.finite_value() if isinstance(coefficient, NatInf) else coefficient
+    if semiring.idempotent_add:
+        return value if count else semiring.zero()
+    return semiring.scale(count, value)
+
+
+class PolynomialSemiring(Semiring):
+    """The polynomial semiring ``K[X]`` with coefficients in ``N`` or ``N-inf``.
+
+    The default instance (``allow_infinite_coefficients=False``) is ``N[X]``,
+    the positive-algebra provenance semiring of Definition 4.1.  Allowing
+    infinite coefficients gives the polynomial fragment of ``N-inf[[X]]``.
+    """
+
+    idempotent_add = False
+    is_omega_continuous = False  # N[X] has no infinite sums; see power_series
+
+    def __init__(self, *, allow_infinite_coefficients: bool = False, name: str | None = None):
+        self.allow_infinite_coefficients = allow_infinite_coefficients
+        if name is not None:
+            self.name = name
+        else:
+            self.name = "N∞[X]" if allow_infinite_coefficients else "N[X]"
+
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def add(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return Polynomial.of(a) + Polynomial.of(b)
+
+    def mul(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return Polynomial.of(a) * Polynomial.of(b)
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, Polynomial):
+            return False
+        if self.allow_infinite_coefficients:
+            return True
+        return not value.has_infinite_coefficient()
+
+    def coerce(self, value: Any) -> Polynomial:
+        polynomial = Polynomial.of(value)
+        return self.check(polynomial)
+
+    def leq(self, a: Polynomial, b: Polynomial) -> bool:
+        """Natural order: coefficient-wise <= (sufficient and necessary)."""
+        a, b = Polynomial.of(a), Polynomial.of(b)
+        monomials = set(a.monomials) | set(b.monomials)
+        return all(
+            NatInf.of(a.coefficient(m)) <= NatInf.of(b.coefficient(m))
+            for m in monomials
+        )
+
+    def var(self, name: str) -> Polynomial:
+        """Convenience: the polynomial for a single tuple id / variable."""
+        return Polynomial.var(name)
+
+    def format_value(self, value: Any) -> str:
+        return str(Polynomial.of(value))
+
+
+class ProvenancePolynomialSemiring(PolynomialSemiring):
+    """Alias class for ``N[X]`` emphasising its provenance role (Definition 4.1)."""
+
+    def __init__(self) -> None:
+        super().__init__(allow_infinite_coefficients=False, name="N[X]")

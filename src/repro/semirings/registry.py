@@ -1,0 +1,77 @@
+"""A small name-based registry of the shipped semirings.
+
+The registry makes it easy for examples, benchmarks and command-line style
+tools to select a semiring by name ("bool", "bag", "why", "provenance",
+...) without importing each class, and it is the single place that
+enumerates every annotation structure the library reproduces from the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BooleanSemiring
+from repro.semirings.fuzzy import FuzzySemiring, ViterbiSemiring
+from repro.semirings.lineage import WhyProvenanceSemiring, WitnessWhySemiring
+from repro.semirings.numeric import CompletedNaturalsSemiring, NaturalsSemiring
+from repro.semirings.polynomial import PolynomialSemiring, ProvenancePolynomialSemiring
+from repro.semirings.posbool import PosBoolSemiring
+from repro.semirings.power_series import PowerSeriesSemiring
+from repro.semirings.tropical import TropicalSemiring
+
+__all__ = ["register_semiring", "get_semiring", "available_semirings"]
+
+_FACTORIES: Dict[str, Callable[[], Semiring]] = {
+    "bool": BooleanSemiring,
+    "boolean": BooleanSemiring,
+    "set": BooleanSemiring,
+    "bag": NaturalsSemiring,
+    "nat": NaturalsSemiring,
+    "counting": NaturalsSemiring,
+    "natinf": CompletedNaturalsSemiring,
+    "completed-nat": CompletedNaturalsSemiring,
+    "tropical": TropicalSemiring,
+    "fuzzy": FuzzySemiring,
+    "viterbi": ViterbiSemiring,
+    "posbool": PosBoolSemiring,
+    "ctable": PosBoolSemiring,
+    "why": WhyProvenanceSemiring,
+    "lineage": WhyProvenanceSemiring,
+    "why-witness": WitnessWhySemiring,
+    "provenance": ProvenancePolynomialSemiring,
+    "polynomial": ProvenancePolynomialSemiring,
+    "nx": ProvenancePolynomialSemiring,
+    "polynomial-inf": lambda: PolynomialSemiring(allow_infinite_coefficients=True),
+    "power-series": PowerSeriesSemiring,
+}
+
+
+def register_semiring(name: str, factory: Callable[[], Semiring]) -> None:
+    """Register a new named semiring factory.
+
+    Raises :class:`SemiringError` when the name is already taken, to avoid
+    silently shadowing a shipped structure.
+    """
+    key = name.strip().lower()
+    if key in _FACTORIES:
+        raise SemiringError(f"semiring name {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_semiring(name: str) -> Semiring:
+    """Instantiate a registered semiring by (case-insensitive) name."""
+    key = name.strip().lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        raise SemiringError(
+            f"unknown semiring {name!r}; available: {', '.join(sorted(set(_FACTORIES)))}"
+        ) from None
+    return factory()
+
+
+def available_semirings() -> Iterable[str]:
+    """Return the sorted collection of registered semiring names."""
+    return sorted(_FACTORIES)

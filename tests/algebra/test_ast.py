@@ -1,0 +1,68 @@
+"""The query AST, fluent builder and evaluation against databases."""
+
+import pytest
+
+from repro.algebra import Q
+from repro.algebra.ast import EmptyRelation
+from repro.errors import QueryError
+from repro.relations import Database
+from repro.semirings import BooleanSemiring, NaturalsSemiring
+from repro.workloads import figure3_bag_database, section2_query
+
+
+def test_relation_ref_and_names():
+    q = section2_query()
+    assert q.relation_names() == frozenset({"R"})
+    assert "π" in str(q)
+
+
+def test_empty_relation_evaluates_to_empty():
+    db = Database(BooleanSemiring())
+    result = EmptyRelation(["a"]).evaluate(db)
+    assert len(result) == 0
+
+
+def test_projection_requires_attributes():
+    with pytest.raises(QueryError):
+        Q.relation("R").project()
+
+
+def test_where_eq_and_where_attrs_equal():
+    db = Database(NaturalsSemiring())
+    db.create("R", ["a", "b"], [(("x", "x"), 2), (("x", "y"), 3)])
+    same = Q.relation("R").where_attrs_equal("a", "b").evaluate(db)
+    assert len(same) == 1 and same.annotation(("x", "x")) == 2
+    just_x = Q.relation("R").where_eq("b", "y").evaluate(db)
+    assert just_x.annotation(("x", "y")) == 3
+
+
+def test_rename_then_join_self():
+    """Self-join via renaming: paths of length 2 with multiplicities."""
+    db = Database(NaturalsSemiring())
+    db.create("E", ["src", "dst"], [(("a", "b"), 2), (("b", "c"), 3)])
+    left = Q.relation("E").rename({"dst": "mid"})
+    right = Q.relation("E").rename({"src": "mid"})
+    two_hop = left.join(right).project("src", "dst")
+    result = two_hop.evaluate(db)
+    assert result.annotation(("a", "c")) == 6
+
+
+def test_query_is_reusable_across_semirings():
+    """The same AST evaluates in any semiring (the point of K-relations)."""
+    q = section2_query()
+    bag_result = q.evaluate(figure3_bag_database())
+    boolean_db = figure3_bag_database().map_annotations(lambda n: n > 0, BooleanSemiring())
+    bool_result = q.evaluate(boolean_db)
+    assert {t for t in bag_result.support} == {t for t in bool_result.support}
+
+
+def test_query_call_syntax():
+    db = figure3_bag_database()
+    q = section2_query()
+    assert q(db).equal_to(q.evaluate(db))
+
+
+def test_str_of_composite_query_mentions_operators():
+    q = section2_query()
+    rendered = str(q)
+    assert "∪" in rendered and "⋈" in rendered and "π" in rendered

@@ -1,0 +1,94 @@
+"""Conjunctive queries and UCQs: parsing, K-semantics, canonical databases."""
+
+import pytest
+
+from repro.algebra import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.errors import ParseError, QueryError
+from repro.relations import Database, Tup
+from repro.semirings import BooleanSemiring, NaturalsSemiring, PosBoolSemiring
+from repro.workloads import figure6_database
+
+
+def test_parse_and_render():
+    cq = ConjunctiveQuery.parse("Q(x, y) :- R(x, z), R(z, y)")
+    assert cq.name == "Q"
+    assert len(cq.body) == 2
+    assert cq.relations == {"R"}
+    assert "R(x, z)" in cq.to_datalog_rule()
+
+
+def test_unsafe_head_rejected():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery.parse("Q(x, w) :- R(x, y)")
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        ConjunctiveQuery.parse("Q(x, y) R(x, y)")
+    with pytest.raises(ParseError):
+        ConjunctiveQuery.parse("Q(x) :- ")
+
+
+def test_figure6_bag_evaluation():
+    """Figure 6(c): Q(a,a)=4, Q(a,b)=2*3+3*4=18, Q(b,b)=16."""
+    cq = ConjunctiveQuery.parse("Q(x, y) :- R(x, z), R(z, y)")
+    result = cq.evaluate(figure6_database())
+    assert result.annotation(Tup(c1="a", c2="a")) == 4
+    assert result.annotation(Tup(c1="a", c2="b")) == 18
+    assert result.annotation(Tup(c1="b", c2="b")) == 16
+    assert len(result) == 3
+
+
+def test_constants_in_body_and_head():
+    db = Database(NaturalsSemiring())
+    db.create("R", ["x", "y"], [(("a", "b"), 2), (("a", "c"), 3)])
+    cq = ConjunctiveQuery.parse("Q(y) :- R('a', y)")
+    result = cq.evaluate(db)
+    assert result.annotation(("b",)) == 2
+    assert result.annotation(("c",)) == 3
+
+
+def test_evaluation_in_posbool():
+    db = Database(PosBoolSemiring())
+    db.create("R", ["x", "y"], [(("a", "b"), PosBoolSemiring().coerce("e1")), (("b", "c"), PosBoolSemiring().coerce("e2"))])
+    cq = ConjunctiveQuery.parse("Q(x, z) :- R(x, y), R(y, z)")
+    result = cq.evaluate(db)
+    condition = result.annotation(("a", "c"))
+    assert str(condition) == "e1 ∧ e2"
+
+
+def test_canonical_database_and_head():
+    cq = ConjunctiveQuery.parse("Q(x) :- R(x, y), S(y, 'k')")
+    database, head = cq.canonical_database()
+    assert set(database.names()) == {"R", "S"}
+    assert len(database["R"]) == 1 and len(database["S"]) == 1
+    assert head["c1"] == "_x"
+    # the query evaluated on its own canonical database returns the frozen head
+    result = cq.evaluate(database.to_semiring(BooleanSemiring(), lambda c: True))
+    assert head in result.support
+
+
+def test_ucq_union_adds_annotations():
+    db = figure6_database()
+    ucq = UnionOfConjunctiveQueries.parse(
+        "Q(x, y) :- R(x, y); Q(x, y) :- R(x, z), R(z, y)"
+    )
+    result = ucq.evaluate(db)
+    # R(a,b)=3 plus the 18 two-step derivations
+    assert result.annotation(Tup(c1="a", c2="b")) == 21
+    assert len(ucq) == 2
+    assert ucq.relations == {"R"}
+
+
+def test_ucq_requires_consistent_heads():
+    with pytest.raises(QueryError):
+        UnionOfConjunctiveQueries.parse("Q(x, y) :- R(x, y); Q(x) :- R(x, x)")
+
+
+def test_homomorphism_detection():
+    more_specific = ConjunctiveQuery.parse("Q(x) :- R(x, x)")
+    more_general = ConjunctiveQuery.parse("Q(x) :- R(x, y)")
+    # general -> specific homomorphism exists (map y to x)
+    assert more_general.find_homomorphism(more_specific) is not None
+    # specific -> general does not
+    assert more_specific.find_homomorphism(more_general) is None

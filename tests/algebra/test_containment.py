@@ -1,0 +1,110 @@
+"""Section 9: query containment under K-relation semantics (T6, Theorem 9.2)."""
+
+import pytest
+
+from repro.algebra import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    check_containment_on_instance,
+    contained_in_semiring,
+    cq_contained_set,
+    ucq_contained_set,
+)
+from repro.algebra.containment import containment_equivalence_counterexample, random_databases
+from repro.relations import Database
+from repro.semirings import (
+    BooleanSemiring,
+    FuzzySemiring,
+    NaturalsSemiring,
+    PosBoolSemiring,
+)
+from repro.semirings.posbool import BoolExpr
+
+# q_specific(x) :- R(x, x)   is contained in   q_general(x) :- R(x, y)
+Q_SPECIFIC = ConjunctiveQuery.parse("Q(x) :- R(x, x)")
+Q_GENERAL = ConjunctiveQuery.parse("Q(x) :- R(x, y)")
+# the two-step query is contained in the one-or-two-step UCQ
+Q_TWO_STEP = ConjunctiveQuery.parse("Q(x, y) :- R(x, z), R(z, y)")
+Q_ONE_STEP = ConjunctiveQuery.parse("Q(x, y) :- R(x, y)")
+
+
+class TestSetContainment:
+    def test_chandra_merlin_positive(self):
+        assert cq_contained_set(Q_SPECIFIC, Q_GENERAL)
+
+    def test_chandra_merlin_negative(self):
+        assert not cq_contained_set(Q_GENERAL, Q_SPECIFIC)
+        assert not cq_contained_set(Q_ONE_STEP, Q_TWO_STEP)
+
+    def test_ucq_containment(self):
+        union = UnionOfConjunctiveQueries([Q_ONE_STEP, Q_TWO_STEP])
+        assert ucq_contained_set(Q_TWO_STEP, union)
+        assert ucq_contained_set(Q_ONE_STEP, union)
+        assert not ucq_contained_set(union, Q_TWO_STEP)
+
+    def test_equivalent_queries_contained_both_ways(self):
+        q1 = ConjunctiveQuery.parse("Q(x) :- R(x, y), R(x, z)")
+        q2 = ConjunctiveQuery.parse("Q(x) :- R(x, y)")
+        assert cq_contained_set(q1, q2) and cq_contained_set(q2, q1)
+
+
+class TestTheorem92:
+    """For distributive lattices, ⊑_K coincides with ⊑_B."""
+
+    @pytest.mark.parametrize(
+        "lattice", [BooleanSemiring(), PosBoolSemiring(), FuzzySemiring()], ids=lambda s: s.name
+    )
+    def test_lattice_containment_equals_set_containment(self, lattice):
+        assert contained_in_semiring(Q_SPECIFIC, Q_GENERAL, lattice) == cq_contained_set(
+            Q_SPECIFIC, Q_GENERAL
+        )
+        assert contained_in_semiring(Q_GENERAL, Q_SPECIFIC, lattice) == cq_contained_set(
+            Q_GENERAL, Q_SPECIFIC
+        )
+
+    def test_no_lattice_counterexample_when_set_containment_holds(self):
+        """Empirical direction of Theorem 9.2: search for a violating PosBool instance."""
+        pool = [BoolExpr.var("e1"), BoolExpr.var("e2"), BoolExpr.var("e1") & BoolExpr.var("e2")]
+        witness = containment_equivalence_counterexample(
+            Q_SPECIFIC, Q_GENERAL, PosBoolSemiring(), annotation_pool=pool, trials=30
+        )
+        assert witness is None
+
+    def test_fuzzy_instances_respect_containment(self):
+        pool = [0.2, 0.5, 0.9, 1.0]
+        witness = containment_equivalence_counterexample(
+            Q_SPECIFIC, Q_GENERAL, FuzzySemiring(), annotation_pool=pool, trials=30
+        )
+        assert witness is None
+
+
+class TestBagContainment:
+    def test_set_containment_does_not_imply_bag_containment(self):
+        """The classical example: under bags, R(x,x) ⊑ R(x,y) can fail on multiplicities?
+        Actually q_specific ⊑_N q_general holds; a containment that holds for sets but
+        fails for bags is q(x) :- R(x,y),R(x,z)  vs  q(x) :- R(x,y)."""
+        q_double = ConjunctiveQuery.parse("Q(x) :- R(x, y), R(x, z)")
+        q_single = ConjunctiveQuery.parse("Q(x) :- R(x, y)")
+        # set semantics: equivalent
+        assert cq_contained_set(q_double, q_single)
+        assert cq_contained_set(q_single, q_double)
+        # bag semantics: the double query over-counts, so it is NOT contained
+        assert not contained_in_semiring(q_double, q_single, NaturalsSemiring(), trials=40)
+        # but the single query is contained in the double one
+        assert contained_in_semiring(q_single, q_double, NaturalsSemiring(), trials=40)
+
+    def test_explicit_bag_counterexample(self):
+        q_double = ConjunctiveQuery.parse("Q(x) :- R(x, y), R(x, z)")
+        q_single = ConjunctiveQuery.parse("Q(x) :- R(x, y)")
+        db = Database(NaturalsSemiring())
+        db.create("R", ["a1", "a2"], [(("a", "b"), 1), (("a", "c"), 1)])
+        witness = check_containment_on_instance(q_double, q_single, db)
+        assert witness is not None
+        assert witness.left_annotation == 4 and witness.right_annotation == 2
+
+
+def test_random_databases_generator_is_deterministic():
+    dbs1 = list(random_databases([Q_GENERAL], NaturalsSemiring(), [1, 2], trials=3, seed=5))
+    dbs2 = list(random_databases([Q_GENERAL], NaturalsSemiring(), [1, 2], trials=3, seed=5))
+    for a, b in zip(dbs1, dbs2):
+        assert a["R"].equal_to(b["R"])

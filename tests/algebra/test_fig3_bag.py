@@ -1,0 +1,50 @@
+"""Figure 3: bag-semantics evaluation of the Section 2 query (E3)."""
+
+from repro.relations import Tup
+from repro.semirings import BooleanSemiring, WhyProvenanceSemiring
+from repro.workloads import figure3_bag_database, figure5_why_database, section2_database, section2_query
+
+EXPECTED_MULTIPLICITIES = {
+    ("a", "c"): 8,
+    ("a", "e"): 10,
+    ("d", "c"): 10,
+    ("d", "e"): 55,
+    ("f", "e"): 7,
+}
+
+
+def test_figure3_multiplicities_match_paper():
+    result = section2_query().evaluate(figure3_bag_database())
+    assert len(result) == len(EXPECTED_MULTIPLICITIES)
+    for (a, c), expected in EXPECTED_MULTIPLICITIES.items():
+        assert result.annotation(Tup(a=a, c=c)) == expected
+
+
+def test_set_semantics_support_matches_bag_support():
+    """Proposition 5.4-style sanity check at the RA level: the Boolean answer
+    is the support of the bag answer."""
+    bag_result = section2_query().evaluate(figure3_bag_database())
+    bool_result = section2_query().evaluate(section2_database(BooleanSemiring()))
+    assert bag_result.support == bool_result.support
+    assert all(annotation is True for annotation in bool_result.annotations())
+
+
+def test_figure5b_why_provenance():
+    """Figure 5(b): the why-provenance of each answer tuple."""
+    result = section2_query().evaluate(figure5_why_database())
+    expected = {
+        ("a", "c"): {"p"},
+        ("a", "e"): {"p", "r"},
+        ("d", "c"): {"p", "r"},
+        ("d", "e"): {"r", "s"},
+        ("f", "e"): {"r", "s"},
+    }
+    assert len(result) == 5
+    for (a, c), lineage in expected.items():
+        assert result.annotation(Tup(a=a, c=c)) == frozenset(lineage)
+
+
+def test_why_provenance_cannot_distinguish_de_from_fe():
+    """The limitation discussed in Section 4: (d,e) and (f,e) share lineage."""
+    result = section2_query().evaluate(figure5_why_database())
+    assert result.annotation(Tup(a="d", c="e")) == result.annotation(Tup(a="f", c="e"))

@@ -1,0 +1,87 @@
+"""Figure 5(c) and Theorem 4.3: provenance polynomials and factorization (E5, T2)."""
+
+import pytest
+
+from repro.algebra import factorized_evaluate, provenance_of_query, verify_factorization
+from repro.relations import Tup
+from repro.semirings import (
+    BooleanSemiring,
+    FuzzySemiring,
+    NaturalsSemiring,
+    Polynomial,
+    PosBoolSemiring,
+    TropicalSemiring,
+    WhyProvenanceSemiring,
+)
+from repro.workloads import (
+    figure3_bag_database,
+    figure5_provenance_ids,
+    section2_database,
+    section2_query,
+)
+
+EXPECTED_POLYNOMIALS = {
+    ("a", "c"): "2*p^2",
+    ("a", "e"): "p*r",
+    ("d", "c"): "p*r",
+    ("d", "e"): "2*r^2 + r*s",
+    ("f", "e"): "2*s^2 + r*s",
+}
+
+
+def test_figure5c_provenance_polynomials():
+    provenance, _tagged = provenance_of_query(
+        section2_query(), figure3_bag_database(), ids=figure5_provenance_ids()
+    )
+    assert len(provenance) == 5
+    for (a, c), polynomial in EXPECTED_POLYNOMIALS.items():
+        assert provenance.annotation(Tup(a=a, c=c)) == Polynomial.parse(polynomial)
+
+
+def test_provenance_distinguishes_de_from_fe():
+    """How-provenance separates the tuples that why-provenance conflates."""
+    provenance, _ = provenance_of_query(
+        section2_query(), figure3_bag_database(), ids=figure5_provenance_ids()
+    )
+    assert provenance.annotation(Tup(a="d", c="e")) != provenance.annotation(Tup(a="f", c="e"))
+
+
+def test_factorization_reproduces_bag_result():
+    """Evaluating 2r^2 + rs at p=2, r=5, s=1 gives the Figure 3 multiplicity 55."""
+    result = factorized_evaluate(
+        section2_query(), figure3_bag_database(), ids=figure5_provenance_ids()
+    )
+    assert result.evaluated.annotation(Tup(a="d", c="e")) == 55
+    assert result.evaluated.annotation(Tup(a="a", c="c")) == 8
+
+
+@pytest.mark.parametrize(
+    "semiring,annotations",
+    [
+        (NaturalsSemiring(), {("a", "b", "c"): 2, ("d", "b", "e"): 5, ("f", "g", "e"): 1}),
+        (BooleanSemiring(), None),
+        (FuzzySemiring(), {("a", "b", "c"): 0.6, ("d", "b", "e"): 0.5, ("f", "g", "e"): 0.1}),
+        (TropicalSemiring(), {("a", "b", "c"): 3, ("d", "b", "e"): 7, ("f", "g", "e"): 1}),
+        (WhyProvenanceSemiring(), {("a", "b", "c"): frozenset({"p"}), ("d", "b", "e"): frozenset({"r"}), ("f", "g", "e"): frozenset({"s"})}),
+        (PosBoolSemiring(), None),
+    ],
+    ids=lambda x: getattr(x, "name", "data"),
+)
+def test_factorization_theorem_across_semirings(semiring, annotations):
+    """Theorem 4.3: q(R) = Eval_v(q(R-bar)) for every commutative semiring."""
+    database = section2_database(semiring, annotations)
+    assert verify_factorization(section2_query(), database)
+
+
+def test_factorization_on_random_bag_instances(rng):
+    from repro.workloads import star_join_database
+    from repro.algebra import Q
+
+    database = star_join_database(NaturalsSemiring(), fact_tuples=30, dimension_tuples=10, seed=7)
+    query = (
+        Q.relation("F")
+        .join(Q.relation("D1"))
+        .join(Q.relation("D2"))
+        .project("a", "y")
+    )
+    assert verify_factorization(query, database)

@@ -1,0 +1,109 @@
+"""Proposition 3.4: the RA identities hold over every commutative semiring
+(and the bag-sensitive ones -- idempotence -- deliberately do not)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import (
+    check_selection_projection_identities,
+    check_union_join_identities,
+    operators,
+    predicates,
+)
+from repro.relations import KRelation
+from repro.semirings import NaturalsSemiring
+from repro.workloads import random_relation
+
+from tests.conftest import ALL_SEMIRINGS
+
+
+def _three_relations(semiring, seed):
+    return [
+        random_relation(
+            semiring,
+            ["a", "b"],
+            num_tuples=4,
+            domain_size=3,
+            seed=seed + offset,
+            annotation_offset=offset * 10,
+        )
+        for offset in range(3)
+    ]
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_union_join_identities_hold(semiring, seed):
+    r1, r2, r3 = _three_relations(semiring, seed)
+    report = check_union_join_identities(r1, r2, r3)
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", [0, 3])
+def test_selection_projection_identities_hold(semiring, seed):
+    r1, r2, _ = _three_relations(semiring, seed)
+    report = check_selection_projection_identities(
+        r1,
+        r2,
+        predicates=[
+            predicates.attr_eq_const("a", "v0"),
+            predicates.attr_eq("a", "b"),
+        ],
+    )
+    assert report.ok, report.violations
+
+
+def test_union_idempotence_fails_for_bags():
+    """'Glaringly absent' from Proposition 3.4: R ∪ R != R under bag semantics."""
+    bag = NaturalsSemiring()
+    r = KRelation(bag, ["a"], [(("x",), 2)])
+    doubled = operators.union(r, r)
+    assert not doubled.equal_to(r)
+    assert doubled.annotation(("x",)) == 4
+
+
+def test_self_join_idempotence_fails_for_bags():
+    bag = NaturalsSemiring()
+    r = KRelation(bag, ["a"], [(("x",), 2)])
+    squared = operators.join(r, r)
+    assert squared.annotation(("x",)) == 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    semiring_index=st.integers(min_value=0, max_value=len(ALL_SEMIRINGS) - 1),
+)
+def test_join_distributes_over_union_property(seed, semiring_index):
+    """Property-based version of the distributivity identity over random relations."""
+    semiring = ALL_SEMIRINGS[semiring_index]
+    rng = random.Random(seed)
+    r1 = random_relation(semiring, ["a", "b"], num_tuples=rng.randint(0, 5), domain_size=3, seed=seed)
+    r2 = random_relation(
+        semiring, ["b", "c"], num_tuples=rng.randint(0, 5), domain_size=3, seed=seed + 1, annotation_offset=10
+    )
+    r3 = random_relation(
+        semiring, ["b", "c"], num_tuples=rng.randint(0, 5), domain_size=3, seed=seed + 2, annotation_offset=20
+    )
+    lhs = operators.join(r1, operators.union(r2, r3))
+    rhs = operators.union(operators.join(r1, r2), operators.join(r1, r3))
+    assert lhs.equal_to(rhs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    semiring_index=st.integers(min_value=0, max_value=len(ALL_SEMIRINGS) - 1),
+)
+def test_projection_commutes_with_union_property(seed, semiring_index):
+    semiring = ALL_SEMIRINGS[semiring_index]
+    r1 = random_relation(semiring, ["a", "b"], num_tuples=5, domain_size=3, seed=seed)
+    r2 = random_relation(
+        semiring, ["a", "b"], num_tuples=5, domain_size=3, seed=seed + 7, annotation_offset=10
+    )
+    lhs = operators.project(operators.union(r1, r2), ["a"])
+    rhs = operators.union(operators.project(r1, ["a"]), operators.project(r2, ["a"]))
+    assert lhs.equal_to(rhs)

@@ -1,0 +1,125 @@
+"""The positive-algebra operators of Definition 3.2."""
+
+import pytest
+
+from repro.algebra import operators, predicates
+from repro.errors import QueryError, SchemaError
+from repro.relations import KRelation
+from repro.semirings import BooleanSemiring, NaturalsSemiring, Polynomial, ProvenancePolynomialSemiring
+
+
+@pytest.fixture
+def bag_relation():
+    bag = NaturalsSemiring()
+    return KRelation(bag, ["a", "b"], [(("x", "1"), 2), (("x", "2"), 3), (("y", "1"), 1)])
+
+
+class TestUnion:
+    def test_annotations_are_added(self, bag_relation):
+        other = KRelation(bag_relation.semiring, ["a", "b"], [(("x", "1"), 10)])
+        result = operators.union(bag_relation, other)
+        assert result.annotation(("x", "1")) == 12
+        assert result.annotation(("y", "1")) == 1
+
+    def test_requires_union_compatible_schemas(self, bag_relation):
+        other = KRelation(bag_relation.semiring, ["a", "c"])
+        with pytest.raises(SchemaError):
+            operators.union(bag_relation, other)
+
+    def test_requires_same_semiring(self, bag_relation):
+        other = KRelation(BooleanSemiring(), ["a", "b"], [("x", "1")])
+        with pytest.raises(QueryError):
+            operators.union(bag_relation, other)
+
+
+class TestProjection:
+    def test_annotations_of_merged_tuples_are_added(self, bag_relation):
+        result = operators.project(bag_relation, ["a"])
+        assert result.annotation(("x",)) == 5
+        assert result.annotation(("y",)) == 1
+
+    def test_unknown_attribute_rejected(self, bag_relation):
+        with pytest.raises(SchemaError):
+            operators.project(bag_relation, ["z"])
+
+
+class TestSelection:
+    def test_true_false_predicates(self, bag_relation):
+        assert operators.select(bag_relation, predicates.true).equal_to(bag_relation)
+        assert len(operators.select(bag_relation, predicates.false)) == 0
+
+    def test_equality_predicate(self, bag_relation):
+        result = operators.select(bag_relation, predicates.attr_eq_const("a", "x"))
+        assert len(result) == 2
+        assert result.annotation(("x", "2")) == 3
+
+    def test_non_boolean_predicate_rejected(self, bag_relation):
+        with pytest.raises(QueryError):
+            operators.select(bag_relation, lambda t: 7)
+
+    def test_semiring_valued_zero_one_predicate_accepted(self, bag_relation):
+        result = operators.select(bag_relation, lambda t: 1 if t["a"] == "x" else 0)
+        assert len(result) == 2
+
+
+class TestJoin:
+    def test_annotations_are_multiplied(self):
+        bag = NaturalsSemiring()
+        left = KRelation(bag, ["a", "b"], [(("x", "1"), 2), (("y", "2"), 3)])
+        right = KRelation(bag, ["b", "c"], [(("1", "p"), 5), (("1", "q"), 7)])
+        result = operators.join(left, right)
+        assert result.annotation(("x", "1", "p")) == 10
+        assert result.annotation(("x", "1", "q")) == 14
+        assert len(result) == 2
+
+    def test_join_on_disjoint_schemas_is_cross_product(self):
+        bag = NaturalsSemiring()
+        left = KRelation(bag, ["a"], [(("x",), 2)])
+        right = KRelation(bag, ["b"], [(("1",), 3), (("2",), 1)])
+        result = operators.join(left, right)
+        assert len(result) == 2
+        assert result.annotation(("x", "1")) == 6
+
+    def test_intersection_is_join_on_same_schema(self):
+        bag = NaturalsSemiring()
+        left = KRelation(bag, ["a"], [(("x",), 2), (("y",), 1)])
+        right = KRelation(bag, ["a"], [(("x",), 3)])
+        result = operators.intersection(left, right)
+        assert result.annotation(("x",)) == 6
+        assert ("y",) not in result
+        with pytest.raises(SchemaError):
+            operators.intersection(left, KRelation(bag, ["b"]))
+
+
+class TestRename:
+    def test_rename_changes_schema_and_tuples(self, bag_relation):
+        result = operators.rename(bag_relation, {"a": "left"})
+        assert result.schema.attribute_set == {"left", "b"}
+        assert result.annotation({"left": "x", "b": "1"}) == 2
+
+    def test_invalid_renamings_rejected(self, bag_relation):
+        with pytest.raises(SchemaError):
+            operators.rename(bag_relation, {"z": "w"})
+        with pytest.raises(SchemaError):
+            operators.rename(bag_relation, {"a": "b"})
+        with pytest.raises(SchemaError):
+            operators.rename(bag_relation, {"a": "c", "b": "c"})
+
+
+class TestProvenanceOperators:
+    def test_join_multiplies_polynomials(self):
+        nx = ProvenancePolynomialSemiring()
+        left = KRelation(nx, ["a", "b"], [(("x", "1"), Polynomial.var("p"))])
+        right = KRelation(nx, ["b", "c"], [(("1", "q"), Polynomial.var("r"))])
+        result = operators.join(left, right)
+        assert result.annotation(("x", "1", "q")) == Polynomial.parse("p*r")
+
+    def test_projection_adds_polynomials(self):
+        nx = ProvenancePolynomialSemiring()
+        relation = KRelation(
+            nx,
+            ["a", "b"],
+            [(("x", "1"), Polynomial.var("p")), (("x", "2"), Polynomial.var("r"))],
+        )
+        result = operators.project(relation, ["a"])
+        assert result.annotation(("x",)) == Polynomial.parse("p + r")

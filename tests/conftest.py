@@ -1,0 +1,114 @@
+"""Shared fixtures: semiring inventories and the paper's example instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    BooleanSemiring,
+    CompletedNaturalsSemiring,
+    FuzzySemiring,
+    NaturalsSemiring,
+    PolynomialSemiring,
+    PosBoolSemiring,
+    ProvenancePolynomialSemiring,
+    TropicalSemiring,
+    ViterbiSemiring,
+    WhyProvenanceSemiring,
+    WitnessWhySemiring,
+)
+from repro.semirings.polynomial import Polynomial
+from repro.semirings.posbool import BoolExpr
+
+
+def _sample_elements(semiring):
+    """A small pool of representative non-trivial elements per semiring."""
+    name = semiring.name
+    if name == "B":
+        return [True, False]
+    if name == "N":
+        return [0, 1, 2, 3, 7]
+    if name == "N∞":
+        from repro.semirings.numeric import INFINITY, NatInf
+
+        return [NatInf(0), NatInf(1), NatInf(3), INFINITY]
+    if name == "Tropical":
+        return [0.0, 1.0, 2.5, 7.0, float("inf")]
+    if name in ("Fuzzy", "Viterbi"):
+        return [0.0, 0.25, 0.5, 1.0]
+    if name.startswith("PosBool"):
+        return [
+            BoolExpr.false(),
+            BoolExpr.true(),
+            BoolExpr.var("a"),
+            BoolExpr.var("b"),
+            BoolExpr.var("a") & BoolExpr.var("b"),
+            BoolExpr.var("a") | (BoolExpr.var("b") & BoolExpr.var("c")),
+        ]
+    if name == "Why(X)":
+        return [frozenset(), frozenset({"p"}), frozenset({"p", "r"}), frozenset({"s"})]
+    if name == "Why-witness(X)":
+        return [
+            frozenset(),
+            frozenset({frozenset({"p"})}),
+            frozenset({frozenset({"p"}), frozenset({"r", "s"})}),
+        ]
+    if name in ("N[X]", "N∞[X]"):
+        return [
+            Polynomial.zero(),
+            Polynomial.one(),
+            Polynomial.var("p"),
+            Polynomial.parse("2*p^2 + r*s"),
+            Polynomial.parse("p + r"),
+        ]
+    return [semiring.zero(), semiring.one()]
+
+
+ALL_SEMIRINGS = [
+    BooleanSemiring(),
+    NaturalsSemiring(),
+    CompletedNaturalsSemiring(),
+    TropicalSemiring(),
+    FuzzySemiring(),
+    ViterbiSemiring(),
+    PosBoolSemiring(),
+    WhyProvenanceSemiring(),
+    WitnessWhySemiring(),
+    ProvenancePolynomialSemiring(),
+    PolynomialSemiring(allow_infinite_coefficients=True),
+]
+
+LATTICE_SEMIRINGS = [s for s in ALL_SEMIRINGS if s.is_distributive_lattice]
+
+OMEGA_CONTINUOUS_SEMIRINGS = [s for s in ALL_SEMIRINGS if s.is_omega_continuous]
+
+
+@pytest.fixture(params=ALL_SEMIRINGS, ids=lambda s: s.name)
+def any_semiring(request):
+    """Parametrized fixture covering every shipped semiring."""
+    return request.param
+
+
+@pytest.fixture(params=LATTICE_SEMIRINGS, ids=lambda s: s.name)
+def lattice_semiring(request):
+    """Parametrized fixture covering the distributive-lattice semirings."""
+    return request.param
+
+
+@pytest.fixture
+def semiring_samples():
+    """Map semiring name -> sample element pool (for law checking)."""
+    return {semiring.name: _sample_elements(semiring) for semiring in ALL_SEMIRINGS}
+
+
+def sample_elements(semiring):
+    """Public helper used by parametrized tests that bypass the fixture."""
+    return _sample_elements(semiring)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for data-dependent tests."""
+    return random.Random(20070611)

@@ -1,0 +1,102 @@
+"""Figure 7(e)/(f) and Theorem 5.6: the algebraic system and its solutions (E7, T3)."""
+
+import pytest
+
+from repro.datalog import GroundAtom, build_algebraic_system
+from repro.errors import DatalogError, DivergenceError
+from repro.semirings import (
+    BooleanSemiring,
+    CompletedNaturalsSemiring,
+    NatInf,
+    NaturalsSemiring,
+    Polynomial,
+)
+from repro.semirings.numeric import INFINITY
+from repro.workloads import figure7_database, figure7_edb_ids, figure7_idb_ids, figure7_program
+
+
+@pytest.fixture
+def system():
+    return build_algebraic_system(
+        figure7_program(),
+        figure7_database(),
+        idb_ids=figure7_idb_ids(),
+        edb_ids=figure7_edb_ids(),
+    )
+
+
+class TestSystemConstruction:
+    def test_figure7f_equations(self, system):
+        """x = m + y·z, y = n, z = p, u = r + u·v, v = s + v²."""
+        assert system.equation("x") == Polynomial.parse("m + y*z")
+        assert system.equation("y") == Polynomial.parse("n")
+        assert system.equation("z") == Polynomial.parse("p")
+        assert system.equation("u") == Polynomial.parse("r + u*v")
+        assert system.equation("v") == Polynomial.parse("s + v^2")
+
+    def test_w_equation_includes_the_route_through_cd(self, system):
+        """The paper's figure omits Q(c, d); the full instantiation adds x·u + w·v + y·q
+        where q is the variable generated for Q(c, d)."""
+        q_cd = system.variable_for(GroundAtom("Q", ("c", "d")))
+        expected = Polynomial.parse(f"x*u + w*v + y*{q_cd}")
+        assert system.equation("w") == expected
+
+    def test_variable_lookup_round_trip(self, system):
+        atom = GroundAtom("Q", ("d", "d"))
+        assert system.variable_for(atom) == "v"
+        assert system.atom_for("v") == atom
+        assert system.atom_for("s") == GroundAtom("R", ("d", "d"))
+        with pytest.raises(DatalogError):
+            system.variable_for(GroundAtom("Q", ("z", "z")))
+        with pytest.raises(DatalogError):
+            system.equation("nope")
+
+    def test_str_lists_one_equation_per_variable(self, system):
+        rendered = str(system)
+        assert rendered.count("=") == 7  # six paper variables + Q(c, d)
+        assert "v = s + v^2" in rendered
+
+
+class TestSolutions:
+    def test_solution_in_natinf_matches_figure7b(self, system):
+        """Theorem 5.6: the system's least solution equals the datalog annotation."""
+        solution = system.solve(CompletedNaturalsSemiring())
+        assert solution[GroundAtom("Q", ("a", "b"))] == NatInf(8)
+        assert solution[GroundAtom("Q", ("a", "c"))] == NatInf(3)
+        assert solution[GroundAtom("Q", ("c", "b"))] == NatInf(2)
+        assert solution[GroundAtom("Q", ("b", "d"))] == INFINITY
+        assert solution[GroundAtom("Q", ("d", "d"))] == INFINITY
+        assert solution[GroundAtom("Q", ("a", "d"))] == INFINITY
+
+    def test_solution_with_custom_valuation(self, system):
+        """Replacing the EDB valuation changes the solution accordingly."""
+        solution = system.solve(
+            CompletedNaturalsSemiring(),
+            {"m": 1, "n": 1, "p": 1, "r": 0, "s": 0},
+        )
+        assert solution[GroundAtom("Q", ("a", "b"))] == NatInf(2)   # 1 + 1·1
+        assert solution[GroundAtom("Q", ("b", "d"))] == NatInf(0)   # r = 0 kills u
+
+    def test_solution_in_boolean(self, system):
+        valuation = {name: True for name in "mnprs"}
+        solution = system.solve(BooleanSemiring(), valuation)
+        assert solution[GroundAtom("Q", ("a", "d"))] is True
+        assert all(value is True for value in solution.values())
+
+    def test_divergence_in_plain_naturals_raises(self, system):
+        with pytest.raises(DivergenceError):
+            system.solve(NaturalsSemiring())
+
+    def test_solve_output_filters_to_output_predicate(self, system):
+        output = system.solve_output(BooleanSemiring(), {name: True for name in "mnprs"})
+        assert all(atom.relation == "Q" for atom in output)
+        assert len(output) == 7
+
+    def test_agreement_with_fixpoint_engine(self, system):
+        """System solution == direct fixpoint evaluation (two implementations of Thm 5.6)."""
+        from repro.datalog import evaluate_program
+
+        direct = evaluate_program(figure7_program(), figure7_database())
+        solution = system.solve(CompletedNaturalsSemiring())
+        for atom, value in solution.items():
+            assert direct.annotations[atom] == value

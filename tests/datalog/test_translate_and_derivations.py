@@ -1,0 +1,89 @@
+"""UCQ -> datalog translation helpers and derivation-tree utilities."""
+
+import pytest
+
+from repro.algebra import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog import (
+    GroundAtom,
+    cq_to_program,
+    enumerate_derivation_trees,
+    ground_program,
+    ucq_to_program,
+)
+from repro.relations import Database
+from repro.semirings import BooleanSemiring, Monomial, NaturalsSemiring
+from repro.workloads import figure6_database
+
+
+def test_cq_to_program_roundtrip():
+    cq = ConjunctiveQuery.parse("Ans(x, y) :- R(x, z), S(z, y)")
+    program = cq_to_program(cq)
+    assert program.output == "Ans"
+    assert program.edb_predicates == {"R", "S"}
+    assert len(program) == 1
+
+
+def test_ucq_to_program_one_rule_per_disjunct():
+    ucq = UnionOfConjunctiveQueries.parse(
+        "Q(x, y) :- R(x, y); Q(x, y) :- R(x, z), R(z, y)"
+    )
+    program = ucq_to_program(ucq, output="Path")
+    assert program.output == "Path"
+    assert len(program) == 2
+    # evaluation agrees with the UCQ on a bag database
+    from repro.datalog import evaluate
+
+    db = figure6_database()
+    via_program = evaluate(program, db)
+    via_ucq = ucq.evaluate(db)
+    assert {t.values_for(tuple(via_program.schema.attributes)) for t in via_program.support} == {
+        t.values_for(("c1", "c2")) for t in via_ucq.support
+    }
+
+
+def test_ucq_to_program_accepts_plain_sequences():
+    cqs = [ConjunctiveQuery.parse("Q(x) :- R(x, x)")]
+    program = ucq_to_program(cqs)
+    assert program.output == "Q"
+
+
+class TestDerivationTrees:
+    def setup_method(self):
+        self.db = Database(NaturalsSemiring())
+        self.db.create("R", ["x", "y"], [(("a", "b"), 1), (("b", "c"), 1), (("a", "c"), 1)])
+        self.program = "Q(x, y) :- R(x, y)\nQ(x, y) :- Q(x, z), Q(z, y)"
+        self.ground = ground_program(
+            __import__("repro.datalog.syntax", fromlist=["Program"]).Program.parse(self.program),
+            self.db,
+        )
+
+    def test_two_derivations_for_ac(self):
+        trees = enumerate_derivation_trees(self.ground, GroundAtom("Q", ("a", "c")))
+        assert len(trees) == 2
+        fringes = {str(t.fringe({atom: f"e{i}" for i, atom in enumerate(sorted(self.ground.edb_atoms, key=str), 1)})) for t in trees}
+        assert len(fringes) == 2  # direct edge vs. two-hop path
+
+    def test_max_trees_budget(self):
+        trees = enumerate_derivation_trees(
+            self.ground, GroundAtom("Q", ("a", "c")), max_trees=1
+        )
+        assert len(trees) == 1
+
+    def test_underivable_atom_yields_no_trees(self):
+        assert enumerate_derivation_trees(self.ground, GroundAtom("Q", ("c", "a"))) == []
+
+    def test_leaf_product_matches_bag_annotation(self):
+        boolean_db = Database(BooleanSemiring())
+        boolean_db.create("R", ["x", "y"], [("a", "b"), ("b", "c")])
+        from repro.datalog import Program, evaluate
+
+        result = evaluate(Program.parse(self.program), boolean_db)
+        assert result.annotation(("a", "c")) is True
+
+    def test_fringe_is_a_monomial_over_leaf_ids(self):
+        trees = enumerate_derivation_trees(self.ground, GroundAtom("Q", ("a", "c")))
+        ids = {atom: f"t{i}" for i, atom in enumerate(sorted(self.ground.edb_atoms, key=str), 1)}
+        for tree in trees:
+            fringe = tree.fringe(ids)
+            assert isinstance(fringe, Monomial)
+            assert fringe.degree == len(list(tree.leaves()))

@@ -1,0 +1,126 @@
+"""Figures 1 and 2: maybe-tables, possible worlds, and the Imielinski-Lipski
+computation as the PosBool(B) positive algebra (E1, E2)."""
+
+import pytest
+
+from repro.incomplete import (
+    CTable,
+    MaybeTable,
+    answer_world_set,
+    certain_answers,
+    ctable_database,
+    possible_answers,
+)
+from repro.relations import Tup
+from repro.semirings.posbool import BoolExpr
+from repro.workloads import figure1_maybe_table, figure2_ctable_input, section2_query
+
+
+def _tup(a, c):
+    return Tup(a=a, c=c)
+
+
+# The eight answer worlds of Figure 1(c).
+FIGURE_1C_WORLDS = frozenset(
+    frozenset(tuples)
+    for tuples in [
+        [],
+        [_tup("a", "c")],
+        [_tup("d", "e")],
+        [_tup("f", "e")],
+        [_tup("a", "c"), _tup("a", "e"), _tup("d", "c"), _tup("d", "e")],
+        [_tup("d", "e"), _tup("f", "e")],
+        [_tup("a", "c"), _tup("f", "e")],
+        [_tup("a", "c"), _tup("a", "e"), _tup("d", "c"), _tup("d", "e"), _tup("f", "e")],
+    ]
+)
+
+# The simplified conditions of Figure 2(b).
+FIGURE_2B_CONDITIONS = {
+    ("a", "c"): BoolExpr.var("b1"),
+    ("a", "e"): BoolExpr.var("b1") & BoolExpr.var("b2"),
+    ("d", "c"): BoolExpr.var("b1") & BoolExpr.var("b2"),
+    ("d", "e"): BoolExpr.var("b2"),
+    ("f", "e"): BoolExpr.var("b3"),
+}
+
+
+class TestFigure1:
+    def test_maybe_table_has_eight_input_worlds(self):
+        table = figure1_maybe_table()
+        worlds = list(table.possible_worlds())
+        assert len(worlds) == 8  # three independent optional tuples
+
+    def test_answer_world_set_matches_figure_1c(self):
+        worlds = answer_world_set(section2_query(), figure2_ctable_input(), "R")
+        assert worlds == FIGURE_1C_WORLDS
+
+    def test_result_not_representable_as_maybe_table(self):
+        """The paper's motivating observation: (a,e) and (d,c) force (a,c) and (d,e)."""
+        worlds = sorted(FIGURE_1C_WORLDS, key=len)
+        assert not MaybeTable.can_represent(worlds)
+
+    def test_some_world_sets_are_representable(self):
+        table = MaybeTable(["a"])
+        table.add_certain(("x",))
+        table.add_maybe(("y",))
+        assert MaybeTable.can_represent(list(table.possible_worlds()))
+
+    def test_maybe_table_posbool_encoding(self):
+        table = figure1_maybe_table()
+        relation = table.to_posbool_relation()
+        assert relation.annotation(("a", "b", "c")) == BoolExpr.var("b1")
+        assert relation.annotation(("f", "g", "e")) == BoolExpr.var("b3")
+        assert table.variables == ("b1", "b2", "b3")
+
+
+class TestFigure2:
+    def test_imielinski_lipski_computation_via_posbool(self):
+        """Running the generic RA+ over PosBool(B) produces the Figure 2(b) c-table."""
+        result = section2_query().evaluate(ctable_database({"R": figure2_ctable_input()}))
+        assert len(result) == len(FIGURE_2B_CONDITIONS)
+        for (a, c), condition in FIGURE_2B_CONDITIONS.items():
+            assert result.annotation(_tup(a, c)) == condition
+
+    def test_output_ctable_represents_exactly_figure_1c(self):
+        """The c-table result and the brute-force possible-worlds evaluation agree."""
+        result = section2_query().evaluate(ctable_database({"R": figure2_ctable_input()}))
+        output_table = CTable.from_relation(result)
+        assert output_table.world_set(variables=["b1", "b2", "b3"]) == FIGURE_1C_WORLDS
+
+    def test_certain_and_possible_answers(self):
+        query, table = section2_query(), figure2_ctable_input()
+        assert certain_answers(query, table, "R") == frozenset()
+        assert possible_answers(query, table, "R") == frozenset(
+            {_tup("a", "c"), _tup("a", "e"), _tup("d", "c"), _tup("d", "e"), _tup("f", "e")}
+        )
+
+
+class TestCTableBasics:
+    def test_conditions_accumulate_by_disjunction(self):
+        table = CTable(["a"])
+        table.add(("x",), "c1")
+        table.add(("x",), "c2")
+        assert table.condition(("x",)) == BoolExpr.var("c1") | BoolExpr.var("c2")
+
+    def test_world_selection(self):
+        table = figure2_ctable_input()
+        world = table.world({"b1": True, "b2": False, "b3": True})
+        assert set(world.support) == {
+            Tup(a="a", b="b", c="c"),
+            Tup(a="f", b="g", c="e"),
+        }
+
+    def test_certain_vs_possible_tuples(self):
+        table = CTable(["a"])
+        table.add(("always",), True)
+        table.add(("sometimes",), "c")
+        assert table.certain_tuples() == frozenset({Tup(a="always")})
+        assert table.possible_tuples() == frozenset({Tup(a="always"), Tup(a="sometimes")})
+
+    def test_from_relation_requires_posbool(self):
+        from repro.relations import KRelation
+        from repro.semirings import NaturalsSemiring
+
+        with pytest.raises(Exception):
+            CTable.from_relation(KRelation(NaturalsSemiring(), ["a"]))

@@ -1,0 +1,100 @@
+"""Figure 4: event tables and exact probabilistic query answering (E4)."""
+
+import pytest
+
+from repro.probabilistic import EventTable, IndependentEventSpace, ProbabilisticDatabase
+from repro.relations import Tup
+from repro.semirings.posbool import BoolExpr
+from repro.workloads import figure4_probabilistic_database, section2_query, transitive_closure_program
+
+# Figure 4(b): events of the answer tuples, with Pr(x)=0.6, Pr(y)=0.5, Pr(z)=0.1.
+EXPECTED_PROBABILITIES = {
+    ("a", "c"): 0.6,        # x
+    ("a", "e"): 0.3,        # x ∩ y
+    ("d", "c"): 0.3,        # x ∩ y
+    ("d", "e"): 0.5,        # y
+    ("f", "e"): 0.1,        # z
+}
+
+
+class TestIndependentEventSpace:
+    def test_world_weights_multiply_marginals(self):
+        space = IndependentEventSpace({"x": 0.6, "y": 0.5})
+        assert len(space.space) == 4
+        assert space.probability(space.event("x")) == pytest.approx(0.6)
+        assert space.probability(space.event("x") & space.event("y")) == pytest.approx(0.3)
+
+    def test_event_of_expression(self):
+        space = IndependentEventSpace({"x": 0.5, "y": 0.5})
+        both = space.event_of_expression(BoolExpr.var("x") & BoolExpr.var("y"))
+        either = space.event_of_expression(BoolExpr.var("x") | BoolExpr.var("y"))
+        assert space.probability(both) == pytest.approx(0.25)
+        assert space.probability(either) == pytest.approx(0.75)
+
+    def test_invalid_marginal_rejected(self):
+        with pytest.raises(Exception):
+            IndependentEventSpace({"x": 1.5})
+
+
+class TestFigure4:
+    def test_event_probabilities_match_paper(self):
+        pdb = figure4_probabilistic_database()
+        probabilities = pdb.query_probabilities(section2_query())
+        assert len(probabilities) == len(EXPECTED_PROBABILITIES)
+        for (a, c), expected in EXPECTED_PROBABILITIES.items():
+            assert probabilities[Tup(a=a, c=c)] == pytest.approx(expected)
+
+    def test_events_mirror_the_ctable_structure(self):
+        """Figure 4(b) is 'the same table' as Figure 2(b) with events for conditions."""
+        pdb = figure4_probabilistic_database()
+        events = pdb.query_events(section2_query())
+        x = pdb.space.event("x")
+        y = pdb.space.event("y")
+        assert events.annotation(Tup(a="a", c="c")) == x
+        assert events.annotation(Tup(a="a", c="e")) == x & y
+
+    def test_input_tuple_probabilities(self):
+        pdb = figure4_probabilistic_database()
+        assert pdb.tuple_probability("R", ("a", "b", "c")) == pytest.approx(0.6)
+        assert pdb.marginal("z") == pytest.approx(0.1)
+
+
+class TestProbabilisticDatalog:
+    def test_probabilistic_transitive_closure(self):
+        """Section 8: datalog over P(Omega) terminates and gives exact probabilities."""
+        pdb = ProbabilisticDatabase()
+        pdb.add_relation(
+            "R",
+            ["x", "y"],
+            [
+                (("a", "b"), "e1", 0.5),
+                (("b", "c"), "e2", 0.5),
+                (("a", "c"), "e3", 0.2),
+                (("c", "a"), "e4", 0.5),   # creates a cycle a -> b -> c -> a
+            ],
+        )
+        probabilities = pdb.datalog_probabilities(transitive_closure_program())
+        # Pr[a ~> c] = Pr[e3 or (e1 and e2)] = 0.2 + 0.25 - 0.05 = 0.4
+        assert probabilities[Tup(x="a", y="c")] == pytest.approx(0.4)
+        # the cyclic tuple a ~> a exists iff (e1 e2 e4) or (e3 e4)
+        expected_aa = pdb.space.probability(
+            pdb.space.event_of_expression(
+                (BoolExpr.var("e1") & BoolExpr.var("e2") & BoolExpr.var("e4"))
+                | (BoolExpr.var("e3") & BoolExpr.var("e4"))
+            )
+        )
+        assert probabilities[Tup(x="a", y="a")] == pytest.approx(expected_aa)
+
+    def test_event_table_helper(self):
+        table = EventTable.tuple_independent(
+            ["a"], [(("t1",), "x", 0.25), (("t2",), "y", 0.75)]
+        )
+        assert table.probability(("t1",)) == pytest.approx(0.25)
+        assert len(table.probabilities()) == 2
+
+    def test_conflicting_marginals_rejected(self):
+        pdb = ProbabilisticDatabase()
+        pdb.add_relation("R", ["a"], [(("t",), "x", 0.5)])
+        pdb.add_relation("S", ["a"], [(("u",), "x", 0.7)])
+        with pytest.raises(Exception):
+            _ = pdb.database

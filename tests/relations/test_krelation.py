@@ -1,0 +1,145 @@
+"""K-relations: finite-support annotated relations (Definition 3.1)."""
+
+import pytest
+
+from repro.errors import SchemaError, SemiringError
+from repro.relations import Database, KRelation, Tup
+from repro.semirings import (
+    BooleanSemiring,
+    NaturalsSemiring,
+    Polynomial,
+    ProvenancePolynomialSemiring,
+)
+
+
+class TestConstruction:
+    def test_rows_with_and_without_annotations(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a", "b"], [("x", "y"), (("x", "z"), 3)])
+        assert relation.annotation(("x", "y")) == 1
+        assert relation.annotation(("x", "z")) == 3
+
+    def test_rows_as_dicts_and_tups(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a", "b"])
+        relation.add({"a": 1, "b": 2}, 4)
+        relation.add(Tup(a=1, b=3))
+        assert relation.annotation(Tup(a=1, b=2)) == 4
+        assert len(relation) == 2
+
+    def test_schema_mismatch_rejected(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a", "b"])
+        with pytest.raises(SchemaError):
+            relation.add(("only-one",))
+        with pytest.raises(SchemaError):
+            relation.add(Tup(a=1, c=2))
+
+    def test_from_dict(self):
+        bag = NaturalsSemiring()
+        relation = KRelation.from_dict(bag, ["a"], {("x",): 2, ("y",): 3})
+        assert relation.total_annotation() == 5
+
+
+class TestSupportSemantics:
+    def test_absent_tuples_have_zero_annotation(self):
+        boolean = BooleanSemiring()
+        relation = KRelation(boolean, ["a"], [("x",)])
+        assert relation.annotation(("missing",)) is False
+        assert ("missing",) not in relation
+
+    def test_adding_zero_keeps_support_clean(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"])
+        relation.add(("x",), 0)
+        assert len(relation) == 0
+        relation.set(("x",), 5)
+        relation.set(("x",), 0)
+        assert len(relation) == 0
+
+    def test_add_accumulates_with_semiring_plus(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"])
+        relation.add(("x",), 2)
+        relation.add(("x",), 3)
+        assert relation.annotation(("x",)) == 5
+
+    def test_discard(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"], [(("x",), 2)])
+        relation.discard(("x",))
+        assert not relation
+
+    def test_check_consistency(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"], [(("x",), 2)])
+        relation.check_consistency()
+        relation._annotations[Tup(a="bad")] = -1
+        with pytest.raises(SemiringError):
+            relation.check_consistency()
+
+
+class TestTransformations:
+    def test_map_annotations_drops_zeros(self):
+        """Proposition 3.5's 'support may shrink but never increase'."""
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"], [(("x",), 2), (("y",), 1)])
+        halved = relation.map_annotations(lambda n: n // 2)
+        assert halved.annotation(("x",)) == 1
+        assert ("y",) not in halved
+
+    def test_to_semiring_coercion(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"], [(("x",), 2)])
+        boolean = relation.to_semiring(BooleanSemiring(), lambda n: n > 0)
+        assert boolean.annotation(("x",)) is True
+
+    def test_copy_is_independent(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"], [(("x",), 2)])
+        clone = relation.copy()
+        clone.set(("x",), 9)
+        assert relation.annotation(("x",)) == 2
+
+    def test_contained_in_uses_natural_order(self):
+        bag = NaturalsSemiring()
+        small = KRelation(bag, ["a"], [(("x",), 2)])
+        large = KRelation(bag, ["a"], [(("x",), 5), (("y",), 1)])
+        assert small.contained_in(large)
+        assert not large.contained_in(small)
+
+
+class TestDatabase:
+    def test_register_requires_matching_semiring(self):
+        db = Database(NaturalsSemiring())
+        foreign = KRelation(BooleanSemiring(), ["a"])
+        with pytest.raises(SemiringError):
+            db.register("R", foreign)
+
+    def test_create_and_lookup(self):
+        db = Database(NaturalsSemiring())
+        db.create("R", ["a"], [(("x",), 2)])
+        assert db["R"].annotation(("x",)) == 2
+        assert "R" in db and len(db) == 1
+        with pytest.raises(SchemaError):
+            db.relation("S")
+
+    def test_map_annotations_database_wide(self):
+        db = Database(NaturalsSemiring())
+        db.create("R", ["a"], [(("x",), 2)])
+        boolean_db = db.map_annotations(lambda n: n > 0, BooleanSemiring())
+        assert boolean_db.semiring.name == "B"
+        assert boolean_db["R"].annotation(("x",)) is True
+
+
+class TestDisplayAndProvenanceRelations:
+    def test_to_table_renders_annotations(self):
+        nx = ProvenancePolynomialSemiring()
+        relation = KRelation(nx, ["a"], [(("x",), Polynomial.parse("2*p^2"))])
+        table = relation.to_table()
+        assert "2·p^2" in table
+        assert "a" in table.splitlines()[0]
+
+    def test_empty_relation_renders_placeholder(self):
+        relation = KRelation(NaturalsSemiring(), ["a", "b"])
+        assert "(empty)" in relation.to_table()

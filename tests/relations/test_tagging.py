@@ -1,0 +1,47 @@
+"""Abstract tagging (the R-bar construction behind Theorem 4.3)."""
+
+import pytest
+
+from repro.relations import Database, KRelation, abstractly_tag, abstractly_tag_database
+from repro.semirings import NaturalsSemiring, Polynomial
+from repro.workloads import figure3_bag_database, figure5_provenance_ids
+
+
+def test_abstract_tagging_preserves_support_and_records_valuation():
+    bag = NaturalsSemiring()
+    relation = KRelation(bag, ["a"], [(("x",), 2), (("y",), 5)])
+    tagged, valuation, tuple_ids = abstractly_tag(relation, relation_name="R")
+    assert len(tagged) == 2
+    assert set(valuation.values()) == {2, 5}
+    # every annotation is a distinct single variable
+    variables = {str(annotation) for annotation in tagged.annotations()}
+    assert len(variables) == 2
+    assert all(isinstance(a, Polynomial) for a in tagged.annotations())
+    assert set(tuple_ids.values()) == set(valuation.keys())
+
+
+def test_explicit_ids_are_respected():
+    db = figure3_bag_database()
+    tagged = abstractly_tag_database(db, ids=figure5_provenance_ids())
+    assert set(tagged.valuation) == {"p", "r", "s"}
+    assert tagged.valuation["r"] == 5
+    assert tagged.variable_for("R", ("d", "b", "e")) == "r"
+    assert tagged.tuple_for("p")[0] == "R"
+
+
+def test_duplicate_ids_rejected():
+    bag = NaturalsSemiring()
+    relation = KRelation(bag, ["a"], [(("x",), 1), (("y",), 1)])
+    with pytest.raises(ValueError):
+        abstractly_tag(relation, ids={("x",): "t", ("y",): "t"})
+
+
+def test_ids_unique_across_relations():
+    bag = NaturalsSemiring()
+    db = Database(bag)
+    db.create("R", ["a"], [(("x",), 1)])
+    db.create("S", ["a"], [(("y",), 1)])
+    with pytest.raises(ValueError):
+        abstractly_tag_database(db, ids={"R": {("x",): "t"}, "S": {("y",): "t"}})
+    tagged = abstractly_tag_database(db)
+    assert len(tagged.valuation) == 2

@@ -1,0 +1,76 @@
+"""Named-perspective tuples and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relations import Schema, Tup
+
+
+class TestTup:
+    def test_equality_is_order_independent(self):
+        assert Tup(a=1, b=2) == Tup(b=2, a=1)
+        assert hash(Tup(a=1, b=2)) == hash(Tup(b=2, a=1))
+
+    def test_from_values(self):
+        t = Tup.from_values(["a", "b"], [1, 2])
+        assert t["a"] == 1 and t["b"] == 2
+        with pytest.raises(SchemaError):
+            Tup.from_values(["a"], [1, 2])
+
+    def test_restrict_is_projection(self):
+        t = Tup(a=1, b=2, c=3)
+        assert t.restrict(["a", "c"]) == Tup(a=1, c=3)
+        with pytest.raises(SchemaError):
+            t.restrict(["z"])
+
+    def test_rename(self):
+        t = Tup(a=1, b=2)
+        assert t.rename({"a": "x"}) == Tup(x=1, b=2)
+        with pytest.raises(SchemaError):
+            t.rename({"a": "b"})  # collides with existing attribute
+
+    def test_merge_compatible(self):
+        left, right = Tup(a=1, b=2), Tup(b=2, c=3)
+        assert left.compatible_with(right)
+        assert left.merge(right) == Tup(a=1, b=2, c=3)
+
+    def test_merge_incompatible_raises(self):
+        with pytest.raises(SchemaError):
+            Tup(a=1, b=2).merge(Tup(b=9, c=3))
+
+    def test_mapping_protocol(self):
+        t = Tup(a=1, b=2)
+        assert set(t) == {"a", "b"}
+        assert "a" in t and "z" not in t
+        assert t.get("z", 42) == 42
+        assert len(t) == 2
+        assert t.as_dict() == {"a": 1, "b": 2}
+        assert t.values_for(["b", "a"]) == (2, 1)
+
+    def test_duplicate_kwarg_rejected(self):
+        with pytest.raises(SchemaError):
+            Tup({"a": 1}, a=2)
+
+
+class TestSchema:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_equality_ignores_order(self):
+        assert Schema(["a", "b"]) == Schema(["b", "a"])
+        assert hash(Schema(["a", "b"])) == hash(Schema(["b", "a"]))
+
+    def test_project_and_rename(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.project(["c", "a"]).attributes == ("c", "a")
+        with pytest.raises(SchemaError):
+            schema.project(["z"])
+        assert schema.rename({"a": "x"}).attribute_set == {"x", "b", "c"}
+
+    def test_join_unions_attributes(self):
+        assert Schema(["a", "b"]).join(Schema(["b", "c"])).attribute_set == {"a", "b", "c"}
+
+    def test_compatibility(self):
+        assert Schema(["a", "b"]).is_compatible_with(Schema(["b", "a"]))
+        assert not Schema(["a"]).is_compatible_with(Schema(["a", "b"]))

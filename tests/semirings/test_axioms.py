@@ -1,0 +1,93 @@
+"""Semiring axioms (Proposition 3.4's algebraic side) for every shipped semiring."""
+
+import pytest
+
+from repro.semirings import check_distributive_lattice, check_semiring_axioms
+from repro.semirings.base import Semiring
+from repro.semirings.properties import natural_order_is_partial_order
+
+from tests.conftest import ALL_SEMIRINGS, LATTICE_SEMIRINGS, sample_elements
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_commutative_semiring_axioms(semiring):
+    report = check_semiring_axioms(semiring, sample_elements(semiring))
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("semiring", LATTICE_SEMIRINGS, ids=lambda s: s.name)
+def test_declared_lattices_satisfy_absorption(semiring):
+    report = check_distributive_lattice(semiring, sample_elements(semiring))
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_zero_is_distinct_from_one(semiring):
+    # Definition 3.2 requires two distinct distinguished values 0 != 1.  For
+    # why-provenance this holds thanks to the Lin(X) bottom element ⊥.
+    assert semiring.zero() != semiring.one()
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_natural_order_is_partial_order_on_samples(semiring):
+    try:
+        report = natural_order_is_partial_order(semiring, sample_elements(semiring))
+    except NotImplementedError:
+        pytest.skip(f"{semiring.name} does not expose a natural-order decision procedure")
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_from_int_embeds_naturals(semiring):
+    zero = semiring.from_int(0)
+    one = semiring.from_int(1)
+    assert zero == semiring.zero()
+    assert one == semiring.one()
+    three = semiring.from_int(3)
+    # n -> sum of n ones; for idempotent semirings every positive n collapses to 1.
+    if semiring.idempotent_add:
+        assert three == semiring.one()
+    else:
+        assert three == semiring.add(semiring.add(one, one), one)
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_sum_and_product_of_empty_iterables(semiring):
+    assert semiring.sum([]) == semiring.zero()
+    assert semiring.product([]) == semiring.one()
+
+
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+def test_power_and_scale(semiring):
+    for value in sample_elements(semiring)[:3]:
+        value = semiring.coerce(value)
+        assert semiring.power(value, 0) == semiring.one()
+        assert semiring.power(value, 1) == value
+        assert semiring.scale(0, value) == semiring.zero()
+        assert semiring.scale(1, value) == value
+
+
+def test_broken_structure_fails_axiom_check():
+    class BrokenSemiring(Semiring):
+        """Subtraction-flavoured structure: not associative/commutative-compatible."""
+
+        name = "broken"
+
+        def zero(self):
+            return 0
+
+        def one(self):
+            return 1
+
+        def add(self, a, b):
+            return a - b  # not commutative, wrong identity behaviour
+
+        def mul(self, a, b):
+            return a * b
+
+        def contains(self, value):
+            return isinstance(value, int)
+
+    report = check_semiring_axioms(BrokenSemiring(), [1, 2, 3])
+    assert not report.ok
+    assert any("commutativity of +" in v for v in report.violations)

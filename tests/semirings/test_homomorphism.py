@@ -1,0 +1,80 @@
+"""Semiring homomorphisms and Eval_v (Propositions 3.5, 4.2, 6.3)."""
+
+import pytest
+
+from repro.errors import SemiringError
+from repro.semirings import (
+    BooleanSemiring,
+    CompletedNaturalsSemiring,
+    NatInf,
+    NaturalsSemiring,
+    Polynomial,
+    PosBoolSemiring,
+    SemiringHomomorphism,
+    check_homomorphism,
+    polynomial_evaluation,
+    series_evaluation,
+)
+from repro.semirings.posbool import BoolExpr
+
+
+def test_support_homomorphism_n_to_bool():
+    """n |-> (n > 0) is a semiring homomorphism N -> B (the 'support' map)."""
+    h = SemiringHomomorphism(NaturalsSemiring(), BooleanSemiring(), lambda n: n > 0)
+    assert not check_homomorphism(h, [0, 1, 2, 5])
+
+
+def test_non_homomorphism_detected():
+    """n |-> (n > 1) fails h(1) = 1 and additivity."""
+    h = SemiringHomomorphism(NaturalsSemiring(), BooleanSemiring(), lambda n: n > 1)
+    violations = check_homomorphism(h, [0, 1, 2])
+    assert violations
+
+
+def test_polynomial_evaluation_is_homomorphism():
+    bag = NaturalsSemiring()
+    eval_v = polynomial_evaluation(bag, {"p": 2, "r": 5, "s": 1})
+    sample = [
+        Polynomial.parse("2*p^2"),
+        Polynomial.parse("r*s"),
+        Polynomial.parse("2*r^2 + r*s"),
+        Polynomial.var("p"),
+    ]
+    assert not check_homomorphism(eval_v, sample)
+    assert eval_v(Polynomial.parse("2*r^2 + r*s")) == 55
+
+
+def test_polynomial_evaluation_into_posbool():
+    posbool = PosBoolSemiring()
+    eval_v = polynomial_evaluation(posbool, {"p": "b1", "r": "b2", "s": "b3"})
+    assert eval_v(Polynomial.parse("2*p^2")) == BoolExpr.var("b1")
+    assert eval_v(Polynomial.parse("2*s^2 + r*s")) == BoolExpr.var("b3") | (
+        BoolExpr.var("b2") & BoolExpr.var("b3")
+    )
+
+
+def test_series_evaluation_requires_omega_continuous_target():
+    with pytest.raises(SemiringError):
+        series_evaluation(NaturalsSemiring(), {})
+    eval_v = series_evaluation(CompletedNaturalsSemiring(), {"s": NatInf(1)})
+    from repro.semirings import FormalPowerSeries
+
+    assert eval_v(FormalPowerSeries.var("s")) == NatInf(1)
+
+
+def test_composition():
+    bag = NaturalsSemiring()
+    boolean = BooleanSemiring()
+    to_bool = SemiringHomomorphism(bag, boolean, lambda n: n > 0, name="support")
+    eval_v = polynomial_evaluation(bag, {"p": 2, "r": 0})
+    composed = to_bool.compose(eval_v)
+    assert composed(Polynomial.parse("p + r")) is True
+    assert composed(Polynomial.parse("r")) is False
+
+
+def test_composition_type_mismatch_raises():
+    bag = NaturalsSemiring()
+    boolean = BooleanSemiring()
+    to_bool = SemiringHomomorphism(bag, boolean, lambda n: n > 0)
+    with pytest.raises(SemiringError):
+        to_bool.compose(to_bool)

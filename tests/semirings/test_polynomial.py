@@ -1,0 +1,183 @@
+"""Provenance polynomials N[X] (Definition 4.1) and the Eval_v homomorphism."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidAnnotationError, ParseError, SemiringError
+from repro.semirings import (
+    BooleanSemiring,
+    Monomial,
+    NatInf,
+    NaturalsSemiring,
+    Polynomial,
+    PolynomialSemiring,
+    PosBoolSemiring,
+    ProvenancePolynomialSemiring,
+    TropicalSemiring,
+    WhyProvenanceSemiring,
+)
+from repro.semirings.numeric import INFINITY
+from repro.semirings.posbool import BoolExpr
+
+
+class TestMonomial:
+    def test_multiplication_adds_exponents(self):
+        assert Monomial.var("p") * Monomial.var("p") == Monomial.var("p", 2)
+        assert (Monomial.var("p") * Monomial.var("r")).degree == 2
+
+    def test_unit(self):
+        assert Monomial.unit().is_unit()
+        assert Monomial.var("p") * Monomial.unit() == Monomial.var("p")
+
+    def test_from_bag(self):
+        assert Monomial.from_bag(["r", "s", "s"]) == Monomial({"r": 1, "s": 2})
+
+    def test_divides(self):
+        assert Monomial.var("p").divides(Monomial({"p": 2, "r": 1}))
+        assert not Monomial.var("q").divides(Monomial({"p": 2}))
+
+    def test_ordering_by_degree_then_powers(self):
+        assert Monomial.var("p") < Monomial({"p": 2})
+        assert Monomial.var("a") < Monomial.var("b")
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(InvalidAnnotationError):
+            Monomial({"p": -1})
+
+    def test_str(self):
+        assert str(Monomial.unit()) == "1"
+        assert str(Monomial({"p": 2, "r": 1})) == "p^2·r"
+
+
+class TestPolynomial:
+    def test_figure5_polynomials(self):
+        """2p^2, pr, 2r^2 + rs, 2s^2 + rs arise from the expected arithmetic."""
+        p, r, s = Polynomial.var("p"), Polynomial.var("r"), Polynomial.var("s")
+        assert p * p + p * p == Polynomial.parse("2*p^2")
+        assert r * r + r * r + r * s == Polynomial.parse("2*r^2 + r*s")
+        assert s * s + s * s + r * s == Polynomial.parse("2*s^2 + r*s")
+
+    def test_parse_round_trip(self):
+        poly = Polynomial.parse("2*p^2 + r*s + 3")
+        assert poly.coefficient("p^2") == 2
+        assert poly.coefficient("r*s") == 1
+        assert poly.coefficient(Monomial.unit()) == 3
+        assert Polynomial.parse(str(poly).replace("·", "*")) == poly
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            Polynomial.parse("p +")
+        with pytest.raises(ParseError):
+            Polynomial.parse("2*(p+q)")
+
+    def test_zero_and_one(self):
+        p = Polynomial.var("p")
+        assert p + Polynomial.zero() == p
+        assert p * Polynomial.one() == p
+        assert (p * Polynomial.zero()).is_zero()
+
+    def test_distributivity(self):
+        p, r, s = Polynomial.var("p"), Polynomial.var("r"), Polynomial.var("s")
+        assert p * (r + s) == p * r + p * s
+
+    def test_evaluate_in_naturals_matches_bag_semantics(self):
+        """Evaluating 2r^2 + rs at p=2, r=5, s=1 gives 55 (Theorem 4.3's example)."""
+        poly = Polynomial.parse("2*r^2 + r*s")
+        value = poly.evaluate(NaturalsSemiring(), {"p": 2, "r": 5, "s": 1})
+        assert value == 55
+
+    def test_evaluate_in_boolean(self):
+        poly = Polynomial.parse("2*p^2 + r*s")
+        assert poly.evaluate(BooleanSemiring(), {"p": True, "r": False, "s": True}) is True
+        assert poly.evaluate(BooleanSemiring(), {"p": False, "r": False, "s": True}) is False
+
+    def test_evaluate_in_posbool_drops_exponents_and_coefficients(self):
+        poly = Polynomial.parse("2*p^2 + r*s")
+        result = poly.evaluate(
+            PosBoolSemiring(),
+            {"p": BoolExpr.var("p"), "r": BoolExpr.var("r"), "s": BoolExpr.var("s")},
+        )
+        assert result == BoolExpr.var("p") | (BoolExpr.var("r") & BoolExpr.var("s"))
+
+    def test_evaluate_in_why_provenance(self):
+        poly = Polynomial.parse("2*r^2 + r*s")
+        result = poly.evaluate(
+            WhyProvenanceSemiring(), {"r": frozenset({"r"}), "s": frozenset({"s"})}
+        )
+        assert result == frozenset({"r", "s"})
+
+    def test_evaluate_in_tropical(self):
+        # In (min, +): 2*r^2 + r*s at r=3, s=10 -> min(3+3, 3+10) = 6.
+        poly = Polynomial.parse("2*r^2 + r*s")
+        assert poly.evaluate(TropicalSemiring(), {"r": 3, "s": 10}) == 6.0
+
+    def test_missing_valuation_variable_raises(self):
+        with pytest.raises(SemiringError):
+            Polynomial.var("p").evaluate(NaturalsSemiring(), {})
+
+    def test_infinite_coefficient_handling(self):
+        poly = Polynomial({Monomial.var("p"): INFINITY})
+        assert poly.has_infinite_coefficient()
+        from repro.semirings import CompletedNaturalsSemiring
+
+        assert poly.evaluate(CompletedNaturalsSemiring(), {"p": NatInf(2)}) == INFINITY
+        assert poly.evaluate(CompletedNaturalsSemiring(), {"p": NatInf(0)}) == NatInf(0)
+        # idempotent targets absorb the infinite coefficient
+        assert poly.evaluate(BooleanSemiring(), {"p": True}) is True
+        with pytest.raises(SemiringError):
+            poly.evaluate(NaturalsSemiring(), {"p": 2})
+
+    def test_rename_and_truncate(self):
+        poly = Polynomial.parse("2*p^2 + r*s")
+        assert poly.rename({"p": "q"}) == Polynomial.parse("2*q^2 + r*s")
+        assert poly.truncate(1).is_zero()
+        assert poly.truncate(2) == poly
+
+    def test_number_of_derivations(self):
+        assert Polynomial.parse("2*s^2 + r*s").number_of_derivations() == 3
+
+
+class TestPolynomialSemiring:
+    def test_provenance_semiring_rejects_infinite_coefficients(self):
+        nx = ProvenancePolynomialSemiring()
+        with pytest.raises(InvalidAnnotationError):
+            nx.check(Polynomial({Monomial.var("p"): INFINITY}))
+        assert PolynomialSemiring(allow_infinite_coefficients=True).contains(
+            Polynomial({Monomial.var("p"): INFINITY})
+        )
+
+    def test_natural_order_is_coefficientwise(self):
+        nx = ProvenancePolynomialSemiring()
+        assert nx.leq(Polynomial.parse("p"), Polynomial.parse("2*p + r"))
+        assert not nx.leq(Polynomial.parse("2*p"), Polynomial.parse("p + r"))
+
+
+_variables = st.sampled_from(["p", "r", "s", "t"])
+_monomials = st.dictionaries(_variables, st.integers(min_value=1, max_value=3), max_size=3).map(
+    Monomial
+)
+_polynomials = st.dictionaries(_monomials, st.integers(min_value=1, max_value=4), max_size=4).map(
+    Polynomial
+)
+
+
+@given(_polynomials, _polynomials, _polynomials)
+def test_polynomial_semiring_laws_property(a, b, c):
+    assert a + b == b + a
+    assert a * b == b * a
+    assert (a + b) + c == a + (b + c)
+    assert (a * b) * c == a * (b * c)
+    assert a * (b + c) == a * b + a * c
+
+
+@given(_polynomials, _polynomials, st.dictionaries(_variables, st.integers(0, 5)))
+def test_evaluation_is_a_homomorphism_property(a, b, valuation):
+    """Eval_v(a + b) = Eval_v(a) + Eval_v(b), and likewise for products (Prop. 4.2)."""
+    bag = NaturalsSemiring()
+    valuation = {v: valuation.get(v, 0) for v in ["p", "r", "s", "t"]}
+    assert (a + b).evaluate(bag, valuation) == a.evaluate(bag, valuation) + b.evaluate(
+        bag, valuation
+    )
+    assert (a * b).evaluate(bag, valuation) == a.evaluate(bag, valuation) * b.evaluate(
+        bag, valuation
+    )

@@ -1,0 +1,104 @@
+"""PosBool(B): canonical minimal-DNF conditions (the c-table semiring)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidAnnotationError
+from repro.semirings import BoolExpr, PosBoolSemiring
+
+
+def test_true_false_constants():
+    assert BoolExpr.true().is_true
+    assert BoolExpr.false().is_false
+    assert BoolExpr.of(True) == BoolExpr.true()
+    assert BoolExpr.of(False) == BoolExpr.false()
+
+
+def test_absorption_simplification_figure2():
+    """(b1 ∧ b1) ∨ (b1 ∧ b1) simplifies to b1; (b2∧b2) ∨ (b2∧b2) ∨ (b2∧b3) to b2."""
+    b1, b2, b3 = BoolExpr.var("b1"), BoolExpr.var("b2"), BoolExpr.var("b3")
+    assert (b1 & b1) | (b1 & b1) == b1
+    assert (b2 & b2) | (b2 & b2) | (b2 & b3) == b2
+    assert (b3 & b3) | (b3 & b3) | (b2 & b3) == b3
+
+
+def test_and_or_laws():
+    a, b, c = BoolExpr.var("a"), BoolExpr.var("b"), BoolExpr.var("c")
+    assert (a | b) & c == (a & c) | (b & c)
+    assert a & (a | b) == a
+    assert a | (a & b) == a
+    assert (a & BoolExpr.false()).is_false
+    assert a | BoolExpr.false() == a
+    assert a & BoolExpr.true() == a
+    assert (a | BoolExpr.true()).is_true
+
+
+def test_semantic_equality_is_structural_equality():
+    a, b = BoolExpr.var("a"), BoolExpr.var("b")
+    left = (a & b) | a
+    right = a
+    assert left == right
+    assert hash(left) == hash(right)
+
+
+def test_evaluate_under_assignment():
+    expr = (BoolExpr.var("a") & BoolExpr.var("b")) | BoolExpr.var("c")
+    assert expr.evaluate({"a": True, "b": True, "c": False})
+    assert expr.evaluate({"c": True})
+    assert not expr.evaluate({"a": True})
+
+
+def test_implies():
+    a, b = BoolExpr.var("a"), BoolExpr.var("b")
+    assert (a & b).implies(a)
+    assert not a.implies(a & b)
+    assert BoolExpr.false().implies(a)
+    assert a.implies(BoolExpr.true())
+
+
+def test_str_rendering():
+    a, b = BoolExpr.var("a"), BoolExpr.var("b")
+    assert str(a) == "a"
+    assert str(BoolExpr.true()) == "true"
+    assert str(BoolExpr.false()) == "false"
+    assert "∧" in str(a & b)
+
+
+def test_semiring_interface():
+    semiring = PosBoolSemiring()
+    a = BoolExpr.var("a")
+    assert semiring.add(a, semiring.zero()) == a
+    assert semiring.mul(a, semiring.one()) == a
+    assert semiring.star(a) == BoolExpr.true()
+    assert semiring.leq(a & BoolExpr.var("b"), a)
+    with pytest.raises(InvalidAnnotationError):
+        semiring.coerce(3.14)
+
+
+@st.composite
+def _posbool_expressions(draw, depth=3):
+    variables = ["a", "b", "c", "d"]
+    if depth == 0 or draw(st.booleans()):
+        return BoolExpr.var(draw(st.sampled_from(variables)))
+    left = draw(_posbool_expressions(depth=depth - 1))
+    right = draw(_posbool_expressions(depth=depth - 1))
+    return (left & right) if draw(st.booleans()) else (left | right)
+
+
+@given(_posbool_expressions(), st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), st.booleans()))
+def test_normal_form_preserves_truth_tables(expr, assignment):
+    """Canonicalization never changes the Boolean function (property test)."""
+    a = BoolExpr.var("a")
+    # combining with a and re-simplifying must stay truth-table equivalent
+    combined = (expr & a) | expr
+    assert combined.evaluate(assignment) == expr.evaluate(assignment) or combined.evaluate(
+        assignment
+    ) == (expr.evaluate(assignment) and assignment.get("a", False)) or combined.evaluate(assignment) == expr.evaluate(assignment)
+    # absorption law as a direct property
+    assert ((expr & a) | expr) == expr
+
+
+@given(_posbool_expressions(), _posbool_expressions())
+def test_or_and_commutative_property(e1, e2):
+    assert (e1 | e2) == (e2 | e1)
+    assert (e1 & e2) == (e2 & e1)

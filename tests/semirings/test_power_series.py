@@ -1,0 +1,79 @@
+"""Formal power series N-inf[[X]] (Section 6)."""
+
+import pytest
+
+from repro.errors import SemiringError
+from repro.semirings import FormalPowerSeries, Monomial, NatInf, Polynomial, PowerSeriesSemiring
+from repro.semirings.numeric import INFINITY
+
+
+def test_embedding_of_polynomials_is_exact():
+    poly = Polynomial.parse("2*p^2 + r*s")
+    series = FormalPowerSeries.from_polynomial(poly)
+    assert series.is_exact
+    assert series.to_polynomial() == poly
+
+
+def test_truncated_series_drop_high_degree_terms():
+    series = FormalPowerSeries.from_polynomial(Polynomial.parse("p + p^3"), truncation_degree=2)
+    assert series.coefficient(Monomial.var("p")) == NatInf(1)
+    with pytest.raises(SemiringError):
+        series.coefficient(Monomial.var("p", 3))
+
+
+def test_addition_and_multiplication():
+    s = FormalPowerSeries.var("s")
+    series = s + s * s
+    assert series.coefficient(Monomial.var("s")) == NatInf(1)
+    assert series.coefficient(Monomial.var("s", 2)) == NatInf(1)
+    assert series.coefficient(Monomial.var("s", 3)) == NatInf(0)
+
+
+def test_multiplication_respects_truncation():
+    semiring = PowerSeriesSemiring(truncation_degree=3)
+    s = semiring.var("s")
+    v = s
+    for _ in range(5):
+        v = semiring.add(s, semiring.mul(v, v))
+    # coefficients of the v = s + v^2 fixpoint: Catalan numbers 1, 1, 2
+    assert v.coefficient(Monomial.var("s")) == NatInf(1)
+    assert v.coefficient(Monomial.var("s", 2)) == NatInf(1)
+    assert v.coefficient(Monomial.var("s", 3)) == NatInf(2)
+
+
+def test_infinite_coefficients_are_representable():
+    series = FormalPowerSeries({Monomial.var("x"): INFINITY}, truncation_degree=4)
+    assert series.coefficient(Monomial.var("x")).is_infinite
+
+
+def test_to_polynomial_requires_exactness():
+    truncated = FormalPowerSeries.var("s", truncation_degree=2)
+    with pytest.raises(SemiringError):
+        truncated.to_polynomial()
+
+
+def test_evaluation_of_exact_series_matches_polynomial_evaluation():
+    from repro.semirings import CompletedNaturalsSemiring
+
+    poly = Polynomial.parse("2*r^2 + r*s")
+    series = FormalPowerSeries.from_polynomial(poly)
+    natinf = CompletedNaturalsSemiring()
+    valuation = {"r": NatInf(5), "s": NatInf(1)}
+    assert series.evaluate(natinf, valuation) == poly.evaluate(natinf, valuation)
+
+
+def test_semiring_interface_and_order():
+    semiring = PowerSeriesSemiring(truncation_degree=4)
+    a = semiring.var("x")
+    b = semiring.add(a, semiring.var("y"))
+    assert semiring.leq(a, b)
+    assert not semiring.leq(b, a)
+    assert semiring.add(a, semiring.zero()) == a
+    assert semiring.mul(a, semiring.one()) == a
+
+
+def test_str_mentions_truncation():
+    truncated = FormalPowerSeries.var("s", truncation_degree=3)
+    assert "O(deg>3)" in str(truncated)
+    exact = FormalPowerSeries.var("s")
+    assert "O(" not in str(exact)

@@ -1,0 +1,42 @@
+"""The named semiring registry."""
+
+import pytest
+
+from repro.errors import SemiringError
+from repro.semirings import (
+    BooleanSemiring,
+    NaturalsSemiring,
+    available_semirings,
+    get_semiring,
+    register_semiring,
+)
+
+
+def test_lookup_by_common_names():
+    assert isinstance(get_semiring("bool"), BooleanSemiring)
+    assert isinstance(get_semiring("BAG"), NaturalsSemiring)
+    assert get_semiring("provenance").name == "N[X]"
+    assert get_semiring("natinf").name == "N∞"
+    assert get_semiring("why").name == "Why(X)"
+
+
+def test_unknown_name_raises_with_suggestions():
+    with pytest.raises(SemiringError) as excinfo:
+        get_semiring("no-such-semiring")
+    assert "available" in str(excinfo.value)
+
+
+def test_available_semirings_is_sorted_and_nonempty():
+    names = list(available_semirings())
+    assert names == sorted(names)
+    assert "bool" in names and "provenance" in names
+
+
+def test_register_custom_and_reject_duplicates():
+    class TinySemiring(BooleanSemiring):
+        name = "tiny"
+
+    register_semiring("tiny-test-semiring", TinySemiring)
+    assert get_semiring("tiny-test-semiring").name == "tiny"
+    with pytest.raises(SemiringError):
+        register_semiring("tiny-test-semiring", TinySemiring)

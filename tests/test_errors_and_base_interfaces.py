@@ -1,0 +1,129 @@
+"""Error hierarchy, selection predicates, display helpers and base-class fallbacks."""
+
+import pytest
+
+from repro import errors
+from repro.algebra import predicates
+from repro.relations import KRelation, Tup, format_relation
+from repro.semirings import NaturalsSemiring, Semiring
+from repro.semirings.base import Semiring as BaseSemiring
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_grounding_error_is_a_datalog_error(self):
+        assert issubclass(errors.GroundingError, errors.DatalogError)
+        assert issubclass(errors.InvalidAnnotationError, errors.SemiringError)
+
+
+class TestPredicates:
+    def setup_method(self):
+        self.tup = Tup(a=3, b=3, c=7)
+
+    def test_constants(self):
+        assert predicates.true(self.tup) is True
+        assert predicates.false(self.tup) is False
+
+    def test_equalities(self):
+        assert predicates.attr_eq("a", "b")(self.tup)
+        assert not predicates.attr_eq("a", "c")(self.tup)
+        assert predicates.attr_eq_const("c", 7)(self.tup)
+        assert predicates.attr_neq_const("c", 8)(self.tup)
+
+    def test_comparisons(self):
+        assert predicates.comparison("c", ">", 5)(self.tup)
+        assert predicates.comparison("a", "<=", 3)(self.tup)
+        assert not predicates.comparison("a", "!=", 3)(self.tup)
+
+    def test_combinators(self):
+        both = predicates.conjunction(
+            predicates.attr_eq("a", "b"), predicates.comparison("c", ">", 1)
+        )
+        either = predicates.disjunction(
+            predicates.attr_eq("a", "c"), predicates.comparison("c", ">", 1)
+        )
+        neither = predicates.negation(either)
+        assert both(self.tup) and either(self.tup) and not neither(self.tup)
+
+
+class TestDisplay:
+    def test_format_relation_alignment_and_sorting(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["name", "n"], [(("zeta", 1), 2), (("alpha", 2), 7)])
+        table = format_relation(relation)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        # sorted by value: alpha row before zeta row
+        assert lines[2].startswith("alpha") and lines[3].startswith("zeta")
+
+    def test_custom_annotation_header(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"], [(("x",), 1)])
+        table = format_relation(relation, annotation_header="multiplicity")
+        assert "multiplicity" in table.splitlines()[0]
+
+
+class TestBaseSemiringFallbacks:
+    class Minimal(BaseSemiring):
+        name = "minimal"
+
+        def zero(self):
+            return 0
+
+        def one(self):
+            return 1
+
+        def add(self, a, b):
+            return a + b
+
+        def mul(self, a, b):
+            return a * b
+
+        def contains(self, value):
+            return isinstance(value, int) and value >= 0
+
+    def test_top_and_star_are_not_available_by_default(self):
+        minimal = self.Minimal()
+        with pytest.raises(errors.SemiringError):
+            minimal.top()
+        with pytest.raises(NotImplementedError):
+            minimal.star(1)
+        with pytest.raises(NotImplementedError):
+            minimal.leq(1, 2)
+
+    def test_negative_scale_and_power_rejected(self):
+        minimal = self.Minimal()
+        with pytest.raises(errors.SemiringError):
+            minimal.scale(-1, 2)
+        with pytest.raises(errors.SemiringError):
+            minimal.power(2, -1)
+        with pytest.raises(errors.SemiringError):
+            minimal.from_int(-3)
+
+    def test_sum_of_products_and_iterate_closure(self):
+        minimal = self.Minimal()
+        assert minimal.sum_of_products([[2, 3], [4]]) == 10
+        chain = list(minimal.iterate_closure(lambda x: x + 1, start=0, max_iterations=4))
+        assert chain == [0, 1, 2, 3]
+
+    def test_coerce_default_rejects_foreign_values(self):
+        minimal = self.Minimal()
+        assert minimal.coerce(3) == 3
+        with pytest.raises(errors.InvalidAnnotationError):
+            minimal.coerce("three")
+
+    def test_check_rejects_invalid(self):
+        minimal = self.Minimal()
+        with pytest.raises(errors.InvalidAnnotationError):
+            minimal.check(-1)
+
+    def test_str_and_repr(self):
+        minimal = self.Minimal()
+        assert str(minimal) == "minimal"
+        assert "minimal" in repr(minimal)
+        assert isinstance(minimal, Semiring)
