@@ -14,12 +14,15 @@ Run with:  python examples/quickstart.py
 
 from repro import (
     BooleanSemiring,
+    CircuitSemiring,
     Database,
     NaturalsSemiring,
     PosBoolSemiring,
     Q,
+    TropicalSemiring,
     WhyProvenanceSemiring,
     factorized_evaluate,
+    specialize,
 )
 from repro.semirings.posbool import BoolExpr
 from repro.workloads import (
@@ -88,6 +91,42 @@ def main() -> None:
     print()
     print("Evaluating the polynomials at p=2, r=5, s=1 recovers the bag result:")
     print(result.evaluated.to_table())
+    print()
+
+    print("== Provenance circuits: one query, one DAG, three semirings ==")
+    # The compact successor to the expanded polynomials above: annotate the
+    # inputs with hash-consed circuit variables, run the *same* query object
+    # once, and specialize the shared provenance DAG into any semiring with
+    # one memoized pass each (no re-evaluation per monomial, no re-running
+    # the query).
+    circ = CircuitSemiring()
+    circuit_db = Database(circ)
+    circuit_db.create(
+        "R",
+        ["a", "b", "c"],
+        [
+            (("a", "b", "c"), circ.var("p")),
+            (("d", "b", "e"), circ.var("r")),
+            (("f", "g", "e"), circ.var("s")),
+        ],
+    )
+    circuits = query.evaluate(circuit_db)
+    print(circuits.to_table())
+    print()
+    print("...specialized to bags (p=2, r=5, s=1):")
+    print(specialize(circuits, NaturalsSemiring(), {"p": 2, "r": 5, "s": 1}).to_table())
+    print()
+    print("...to min-cost (tropical; costs 1.0, 2.0, 5.0):")
+    print(specialize(circuits, TropicalSemiring(), {"p": 1.0, "r": 2.0, "s": 5.0}).to_table())
+    print()
+    print("...to c-table conditions (PosBool):")
+    print(
+        specialize(
+            circuits,
+            PosBoolSemiring(),
+            {"p": BoolExpr.var("b1"), "r": BoolExpr.var("b2"), "s": BoolExpr.var("b3")},
+        ).to_table()
+    )
 
 
 if __name__ == "__main__":

@@ -12,6 +12,29 @@ Quickstart::
     db = Database(BooleanSemiring())
     db.create("R", ["a", "b"], [("1", "2"), ("2", "3")])
     result = Q.relation("R").project("a").evaluate(db)
+
+Provenance circuits
+-------------------
+
+Beyond the paper's expanded polynomials, :mod:`repro.circuits` provides a
+hash-consed DAG representation of the same provenance semantics: annotate
+inputs in :class:`CircuitSemiring` (or abstractly tag any database with
+``abstractly_tag_database(db, semiring=CircuitSemiring())``), run *any*
+query once, then :func:`specialize` the output into as many semirings as
+needed -- each via one memoized pass over the shared DAG instead of a
+monomial-by-monomial re-evaluation::
+
+    from repro import CircuitSemiring, Database, NaturalsSemiring, Q, specialize
+
+    circ = CircuitSemiring()
+    db = Database(circ)
+    db.create("R", ["a", "b"], [(("1", "2"), "p"), (("2", "3"), "r")])
+    result = Q.relation("R").project("a").evaluate(db)   # circuit annotations
+    bags = specialize(result, NaturalsSemiring(), {"p": 2, "r": 5})
+
+Under deep joins and datalog fixpoints circuits stay polynomially small
+where ``N[X]`` explodes (see ``benchmarks/bench_circuits.py``); by
+universality (Proposition 4.2) the answers are identical.
 """
 
 from repro.errors import (
@@ -75,6 +98,15 @@ from repro.algebra import (
     ucq_contained_set,
     verify_factorization,
 )
+from repro.circuits import (
+    CircuitEvaluator,
+    CircuitSemiring,
+    circuit_evaluation,
+    eval_circuit,
+    from_polynomial,
+    specialize,
+    to_polynomial,
+)
 
 __version__ = "1.0.0"
 
@@ -127,6 +159,14 @@ __all__ = [
     "series_evaluation",
     "get_semiring",
     "available_semirings",
+    # circuits
+    "CircuitSemiring",
+    "CircuitEvaluator",
+    "eval_circuit",
+    "circuit_evaluation",
+    "to_polynomial",
+    "from_polynomial",
+    "specialize",
     # algebra
     "Q",
     "Query",

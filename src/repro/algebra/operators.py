@@ -50,9 +50,9 @@ def union(left: KRelation, right: KRelation) -> KRelation:
         )
     result = KRelation(semiring, left.schema)
     for tup, annotation in left.items():
-        result.add(tup, annotation)
+        result._accumulate(tup, annotation)
     for tup, annotation in right.items():
-        result.add(tup, annotation)
+        result._accumulate(tup, annotation)
     return result
 
 
@@ -60,16 +60,9 @@ def project(relation: KRelation, attributes: Iterable[str]) -> KRelation:
     """Projection onto ``attributes``; annotations of coinciding tuples are added."""
     target_schema = relation.schema.project(attributes)
     semiring = relation.semiring
-    sums: dict[Tup, Any] = {}
-    for tup, annotation in relation.items():
-        projected = tup.restrict(target_schema.attributes)
-        if projected in sums:
-            sums[projected] = semiring.add(sums[projected], annotation)
-        else:
-            sums[projected] = annotation
     result = KRelation(semiring, target_schema)
-    for tup, annotation in sums.items():
-        result.set(tup, annotation)
+    for tup, annotation in relation.items():
+        result._accumulate(tup.restrict(target_schema.attributes), annotation)
     return result
 
 
@@ -102,25 +95,39 @@ def select(relation: KRelation, predicate: Callable[[Tup], Any]) -> KRelation:
 def join(left: KRelation, right: KRelation) -> KRelation:
     """Natural join; annotations of joinable tuples are multiplied.
 
-    The implementation hashes the right-hand relation on the shared
-    attributes, so the cost is proportional to the number of joinable pairs
-    rather than the full cross product.
+    Hash join: the *smaller* relation is loaded into a bucket index on the
+    shared attributes and the larger one probes it, so the cost is
+    proportional to the number of joinable pairs rather than the full cross
+    product (and the index memory is minimal).  Annotations are always
+    multiplied as ``left · right``, matching Definition 3.2 regardless of
+    which side was indexed.
     """
     semiring = _require_same_semiring(left, right)
     shared = sorted(left.schema.attribute_set & right.schema.attribute_set)
     result_schema = left.schema.join(right.schema)
     result = KRelation(semiring, result_schema)
+    if not left or not right:
+        return result
+
+    swapped = len(left) > len(right)
+    build, probe = (right, left) if swapped else (left, right)
 
     index: dict[tuple, list[tuple[Tup, Any]]] = defaultdict(list)
-    for tup, annotation in right.items():
-        key = tuple(tup[a] for a in shared)
-        index[key].append((tup, annotation))
+    for tup, annotation in build.items():
+        index[tuple(tup[a] for a in shared)].append((tup, annotation))
 
-    for tup_left, annotation_left in left.items():
-        key = tuple(tup_left[a] for a in shared)
-        for tup_right, annotation_right in index.get(key, ()):
-            merged = tup_left.merge(tup_right)
-            result.add(merged, semiring.mul(annotation_left, annotation_right))
+    mul = semiring.mul
+    for tup_probe, annotation_probe in probe.items():
+        bucket = index.get(tuple(tup_probe[a] for a in shared))
+        if bucket is None:
+            continue
+        for tup_build, annotation_build in bucket:
+            merged = tup_probe.merge(tup_build)
+            if swapped:
+                value = mul(annotation_probe, annotation_build)
+            else:
+                value = mul(annotation_build, annotation_probe)
+            result._accumulate(merged, value)
     return result
 
 

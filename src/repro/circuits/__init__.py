@@ -1,0 +1,69 @@
+"""Provenance circuits: hash-consed DAG annotations for RA and datalog.
+
+The compact successor to the expanded ``N[X]`` polynomials of Section 4:
+same semantics by universality (Proposition 4.2 / Theorem 4.3),
+polynomially smaller objects under deep joins and fixpoints, and one
+memoized pass per valuation instead of monomial-by-monomial re-evaluation.
+
+* :mod:`repro.circuits.nodes` -- immutable, interned ``Var``/``Const``/
+  ``Sum``/``Prod`` nodes forming a DAG with structural sharing;
+* :mod:`repro.circuits.semiring` -- :class:`CircuitSemiring`, a drop-in
+  annotation semiring for K-relations and the datalog engine;
+* :mod:`repro.circuits.evaluate` -- the memoized ``Eval_v`` pass,
+  polynomial converters, and :func:`specialize` (one query, many
+  semirings).
+"""
+
+from repro.circuits.evaluate import (
+    CircuitEvaluator,
+    circuit_evaluation,
+    eval_circuit,
+    from_polynomial,
+    specialize,
+    to_polynomial,
+)
+from repro.circuits.nodes import (
+    ONE,
+    ZERO,
+    Const,
+    Node,
+    Prod,
+    Sum,
+    Var,
+    circuit_depth,
+    circuit_variables,
+    const,
+    iter_nodes,
+    node_count,
+    prod_node,
+    render,
+    sum_node,
+    var,
+)
+from repro.circuits.semiring import CircuitSemiring
+
+__all__ = [
+    "Node",
+    "Var",
+    "Const",
+    "Sum",
+    "Prod",
+    "ZERO",
+    "ONE",
+    "var",
+    "const",
+    "sum_node",
+    "prod_node",
+    "iter_nodes",
+    "node_count",
+    "circuit_depth",
+    "circuit_variables",
+    "render",
+    "CircuitSemiring",
+    "CircuitEvaluator",
+    "eval_circuit",
+    "circuit_evaluation",
+    "to_polynomial",
+    "from_polynomial",
+    "specialize",
+]

@@ -1,0 +1,196 @@
+"""Evaluating circuits: one memoized pass instead of monomial-by-monomial.
+
+``Eval_v`` (Proposition 4.2) on the expanded polynomial touches every
+monomial separately; on the circuit the same homomorphism is a single
+bottom-up pass that visits each *distinct* DAG node once, so shared
+subexpressions are evaluated once no matter how many monomials they expand
+to.  :class:`CircuitEvaluator` keeps its memo table across calls, which
+extends the sharing across all the annotations of a relation -- the common
+case after a join-heavy query or a datalog fixpoint, where output tuples
+share most of their provenance.
+
+The module also provides the exact/expanded bridges ``to_polynomial`` /
+``from_polynomial`` (semantics-preserving by construction, used by the
+equivalence tests) and :func:`specialize`, which maps one circuit-annotated
+relation into any target semiring without re-running the query --
+Theorem 4.3 operationalized on the compact representation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.circuits.nodes import (
+    Const,
+    Node,
+    Prod,
+    Sum,
+    Var,
+    const,
+    iter_nodes,
+    prod_node,
+    sum_node,
+    var,
+)
+from repro.errors import SemiringError
+from repro.semirings.base import Semiring
+from repro.semirings.homomorphism import SemiringHomomorphism
+from repro.semirings.numeric import NatInf
+from repro.semirings.polynomial import Polynomial, _scale_in
+
+__all__ = [
+    "CircuitEvaluator",
+    "eval_circuit",
+    "circuit_evaluation",
+    "to_polynomial",
+    "from_polynomial",
+    "specialize",
+]
+
+
+class CircuitEvaluator:
+    """The homomorphism ``Eval_v`` on circuits, with a persistent memo table.
+
+    One evaluator instance should be reused for every annotation of a
+    relation (as :func:`specialize` does): the memo is keyed by interned
+    node, so subcircuits shared *between* annotations are also evaluated
+    only once.
+    """
+
+    def __init__(self, target: Semiring, valuation: Mapping[str, Any]):
+        self.target = target
+        self.valuation = {name: target.coerce(value) for name, value in valuation.items()}
+        self._memo: Dict[int, Any] = {}
+
+    def __call__(self, node: Node) -> Any:
+        memo = self._memo
+        cached = memo.get(node.node_id)
+        if cached is not None:
+            return cached
+        target = self.target
+        for current in iter_nodes(node):
+            if current.node_id in memo:
+                continue
+            if isinstance(current, Var):
+                try:
+                    value = self.valuation[current.name]
+                except KeyError:
+                    raise SemiringError(
+                        f"valuation is missing variable {current.name!r}"
+                    ) from None
+            elif isinstance(current, Const):
+                value = _const_in(target, current.value)
+            elif isinstance(current, Sum):
+                value = target.sum(memo[child.node_id] for child in current.children)
+            else:
+                value = target.product(memo[child.node_id] for child in current.children)
+            memo[current.node_id] = value
+        return memo[node.node_id]
+
+
+def _const_in(target: Semiring, value: Any) -> Any:
+    """Embed a circuit constant into ``target`` (``n`` as the n-fold sum of 1)."""
+    if isinstance(value, NatInf) and value.is_infinite:
+        # The infinite constant is the sum of infinitely many 1s; _scale_in
+        # implements the paper's treatment (idempotent -> 1, topped -> top).
+        return _scale_in(target, value, target.one())
+    return target.from_int(value)
+
+
+def eval_circuit(node: Node, valuation: Mapping[str, Any], target_semiring: Semiring) -> Any:
+    """Evaluate one circuit in ``target_semiring`` under ``valuation``.
+
+    For many circuits sharing structure, build one :class:`CircuitEvaluator`
+    and reuse it (or call :func:`specialize` on the whole relation) so the
+    memo table is shared.
+    """
+    return CircuitEvaluator(target_semiring, valuation)(node)
+
+
+def circuit_evaluation(
+    target: Semiring, valuation: Mapping[str, Any], *, name: str | None = None
+) -> SemiringHomomorphism:
+    """The homomorphism ``Eval_v : Circ[X] -> K``, packaged like its N[X] twin.
+
+    This is the circuit counterpart of
+    :func:`repro.semirings.homomorphism.polynomial_evaluation`; by
+    universality the two agree with ``to_polynomial`` in between.
+    """
+    from repro.circuits.semiring import CircuitSemiring
+
+    return SemiringHomomorphism(
+        CircuitSemiring(),
+        target,
+        CircuitEvaluator(target, valuation),
+        name=name or f"Eval_v (circuit) into {target.name}",
+    )
+
+
+def to_polynomial(node: Node) -> Polynomial:
+    """Expand a circuit into the ``N[X]`` polynomial it denotes.
+
+    This is the semantics map: two circuits are equivalent iff their
+    expansions are equal polynomials.  The expansion can be exponentially
+    larger than the DAG -- that is the point of circuits -- so use this for
+    testing, display of small annotations, and interoperation, not on hot
+    paths.
+    """
+    memo: Dict[int, Polynomial] = {}
+    for current in iter_nodes(node):
+        if isinstance(current, Var):
+            value = Polynomial.var(current.name)
+        elif isinstance(current, Const):
+            value = Polynomial.constant(current.value)
+        elif isinstance(current, Sum):
+            value = Polynomial.zero()
+            for child in current.children:
+                value = value + memo[child.node_id]
+        else:
+            value = Polynomial.one()
+            for child in current.children:
+                value = value * memo[child.node_id]
+        memo[current.node_id] = value
+    return memo[node.node_id]
+
+
+def from_polynomial(polynomial: Polynomial | Any) -> Node:
+    """Build the (flat, sum-of-products) circuit for a polynomial.
+
+    The result has no sharing beyond the interned leaves; it exists so that
+    polynomial-annotated data can enter the circuit world, and as the other
+    half of the ``to_polynomial`` round-trip used by the tests.
+    """
+    polynomial = Polynomial.of(polynomial)
+    terms: List[Node] = []
+    for monomial, coefficient in polynomial.terms:
+        parts: List[Node] = []
+        if coefficient != 1:
+            parts.append(const(coefficient))
+        for name, exponent in monomial.powers:
+            parts.extend([var(name)] * exponent)
+        terms.append(prod_node(*parts))
+    return sum_node(*terms)
+
+
+def specialize(
+    value: Any, target: Semiring, valuation: Mapping[str, Any]
+) -> Any:
+    """Map a circuit -- or a whole circuit-annotated K-relation -- into ``target``.
+
+    This is "run the query once, read the answer in many semirings": the
+    query is evaluated a single time over ``Circ[X]`` and each target
+    (bag, tropical, fuzzy, PosBool, probability, ...) is obtained by one
+    memoized pass over the shared provenance DAG.  For a
+    :class:`~repro.relations.krelation.KRelation` the evaluator (and hence
+    the memo) is shared across all tuples.
+    """
+    from repro.relations.krelation import KRelation
+
+    evaluator = CircuitEvaluator(target, valuation)
+    if isinstance(value, KRelation):
+        return value.map_annotations(evaluator, target)
+    if isinstance(value, Node):
+        return evaluator(value)
+    raise SemiringError(
+        f"specialize expects a circuit node or a circuit-annotated KRelation, got {value!r}"
+    )

@@ -1,0 +1,320 @@
+"""Hash-consed arithmetic circuits: the DAG representation of provenance.
+
+The paper annotates tuples with *fully expanded* polynomials of ``N[X]``
+(Definition 4.1), whose size can grow exponentially with join depth and
+fixpoint rounds.  The standard successor representation is an arithmetic
+*circuit*: a DAG built from variables, constants, ``+`` and ``·`` gates in
+which common subexpressions are stored once.  By the universality of
+``N[X]`` (Proposition 4.2) a circuit denotes exactly the polynomial obtained
+by expanding it, so every semantic statement about polynomial provenance
+transfers verbatim; the circuit is just (often exponentially) smaller.
+
+Nodes are immutable and **hash-consed**: construction goes through the
+module-level factories (:func:`var`, :func:`const`, :func:`sum_node`,
+:func:`prod_node`), which intern structurally identical nodes in a weak
+table.  Consequences:
+
+* equality of canonically-constructed circuits is *identity* (``is``), so
+  ``==`` and dictionary lookups are O(1) regardless of circuit size;
+* structural sharing is automatic -- re-deriving the same subcircuit during
+  a fixpoint round returns the existing node, which is what makes Kleene
+  iteration's convergence check cheap;
+* the intern table holds weak references only, so circuits are reclaimed
+  normally when no relation references them.
+
+``Sum``/``Prod`` children are kept sorted by interning id, which makes the
+constructors commutative at the representation level (``a + b`` and
+``b + a`` are the same node).  Associativity is *not* canonicalized --
+``(a+b)+c`` and ``a+(b+c)`` are distinct DAGs denoting the same polynomial
+-- which is the usual circuit trade-off: equality stays cheap and
+conservative, while semantic equality is decided via
+:func:`repro.circuits.evaluate.to_polynomial`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+from repro.errors import InvalidAnnotationError
+from repro.semirings.numeric import NatInf
+
+__all__ = [
+    "Node",
+    "Var",
+    "Const",
+    "Sum",
+    "Prod",
+    "ZERO",
+    "ONE",
+    "var",
+    "const",
+    "sum_node",
+    "prod_node",
+    "iter_nodes",
+    "node_count",
+    "circuit_depth",
+    "circuit_variables",
+    "render",
+]
+
+_IDS = itertools.count()
+_INTERN: "weakref.WeakValueDictionary[tuple, Node]" = weakref.WeakValueDictionary()
+
+
+class Node:
+    """Base class of circuit nodes.  Instances are immutable and interned.
+
+    Do not instantiate subclasses directly -- always go through the factory
+    functions so that hash-consing (and with it O(1) equality) is preserved.
+    Equality and hashing are identity-based, which is sound because the
+    factories never create two structurally identical live nodes.
+    """
+
+    __slots__ = ("_id", "__weakref__")
+
+    @property
+    def node_id(self) -> int:
+        """The interning id (creation order; stable for the node's lifetime)."""
+        return self._id
+
+    # Identity equality/hash inherited from object is exactly right for
+    # hash-consed nodes; we only add the arithmetic conveniences.
+    def __add__(self, other: "Node") -> "Node":
+        if not isinstance(other, Node):
+            return NotImplemented
+        return sum_node(self, other)
+
+    def __mul__(self, other: "Node") -> "Node":
+        if not isinstance(other, Node):
+            return NotImplemented
+        return prod_node(self, other)
+
+    def __str__(self) -> str:
+        return render(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} id={self._id}>"
+
+
+class Var(Node):
+    """A provenance variable (tuple id) leaf."""
+
+    __slots__ = ("name",)
+
+
+class Const(Node):
+    """A constant leaf: a non-negative ``int`` or the infinite :class:`NatInf`."""
+
+    __slots__ = ("value",)
+
+
+class Sum(Node):
+    """An n-ary ``+`` gate (children sorted by interning id, length >= 2)."""
+
+    __slots__ = ("children",)
+
+
+class Prod(Node):
+    """An n-ary ``·`` gate (children sorted by interning id, length >= 2)."""
+
+    __slots__ = ("children",)
+
+
+def _intern(key: tuple, build) -> Node:
+    node = _INTERN.get(key)
+    if node is None:
+        node = build()
+        object.__setattr__(node, "_id", next(_IDS))
+        _INTERN[key] = node
+    return node
+
+
+def _check_const(value: Any) -> Any:
+    """Canonicalize a constant payload: bool -> int, finite NatInf -> int."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, NatInf):
+        return value if value.is_infinite else value.finite_value()
+    if isinstance(value, int) and value >= 0:
+        return value
+    raise InvalidAnnotationError(
+        f"{value!r} is not a valid circuit constant (need N or the infinite N∞ value)"
+    )
+
+
+def var(name: str) -> Var:
+    """The (interned) variable node for tuple id ``name``."""
+    if not isinstance(name, str) or not name:
+        raise InvalidAnnotationError(f"{name!r} is not a valid variable name")
+
+    def build() -> Var:
+        node = Var.__new__(Var)
+        object.__setattr__(node, "name", name)
+        return node
+
+    return _intern(("v", name), build)
+
+
+def const(value: Any) -> Const:
+    """The (interned) constant node for ``value`` (``int`` >= 0 or ``NatInf``)."""
+    value = _check_const(value)
+
+    def build() -> Const:
+        node = Const.__new__(Const)
+        object.__setattr__(node, "value", value)
+        return node
+
+    return _intern(("c", value), build)
+
+
+def _add_values(a: Any, b: Any) -> Any:
+    return _check_const(NatInf.of(a) + NatInf.of(b)) if isinstance(a, NatInf) or isinstance(b, NatInf) else a + b
+
+
+def _mul_values(a: Any, b: Any) -> Any:
+    return _check_const(NatInf.of(a) * NatInf.of(b)) if isinstance(a, NatInf) or isinstance(b, NatInf) else a * b
+
+
+def sum_node(*parts: Node) -> Node:
+    """The sum of ``parts`` with local simplification.
+
+    Applies ``0 + x = x`` and constant folding; returns ``ZERO`` for the
+    empty sum and the sole part for a singleton.  Children are ordered by
+    interning id so the constructor is commutative.
+    """
+    children: List[Node] = []
+    constant: Any = 0
+    for part in parts:
+        if not isinstance(part, Node):
+            raise InvalidAnnotationError(f"{part!r} is not a circuit node")
+        if isinstance(part, Const):
+            constant = _add_values(constant, part.value)
+        else:
+            children.append(part)
+    if constant != 0 or not children:
+        children.append(const(constant))
+    if len(children) == 1:
+        return children[0]
+    children.sort(key=lambda node: node._id)
+    key = ("s", tuple(node._id for node in children))
+
+    def build() -> Sum:
+        node = Sum.__new__(Sum)
+        object.__setattr__(node, "children", tuple(children))
+        return node
+
+    return _intern(key, build)
+
+
+def prod_node(*parts: Node) -> Node:
+    """The product of ``parts`` with local simplification.
+
+    Applies ``1 · x = x``, ``0 · x = 0`` and constant folding; returns
+    ``ONE`` for the empty product and the sole part for a singleton.
+    Children are ordered by interning id so the constructor is commutative.
+    """
+    children: List[Node] = []
+    constant: Any = 1
+    for part in parts:
+        if not isinstance(part, Node):
+            raise InvalidAnnotationError(f"{part!r} is not a circuit node")
+        if isinstance(part, Const):
+            constant = _mul_values(constant, part.value)
+        else:
+            children.append(part)
+    if constant == 0:
+        return ZERO
+    if constant != 1 or not children:
+        children.append(const(constant))
+    if len(children) == 1:
+        return children[0]
+    children.sort(key=lambda node: node._id)
+    key = ("p", tuple(node._id for node in children))
+
+    def build() -> Prod:
+        node = Prod.__new__(Prod)
+        object.__setattr__(node, "children", tuple(children))
+        return node
+
+    return _intern(key, build)
+
+
+#: The canonical additive/multiplicative identities (kept strongly alive so
+#: identity checks like ``value is ZERO`` work for the process lifetime).
+ZERO: Const = const(0)
+ONE: Const = const(1)
+
+
+# ----------------------------------------------------------------------
+# Traversal and metrics (all iterative: circuits from deep fixpoints can
+# exceed Python's recursion limit).
+# ----------------------------------------------------------------------
+
+def iter_nodes(*roots: Node) -> Iterator[Node]:
+    """Yield every distinct node reachable from ``roots`` in postorder.
+
+    Shared subcircuits are yielded once, which is what makes ``sum(1 for _)``
+    the honest DAG size rather than the expanded-tree size.
+    """
+    seen: set[int] = set()
+    stack: List[Tuple[Node, bool]] = [(root, False) for root in reversed(roots)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        if node._id in seen:
+            continue
+        seen.add(node._id)
+        stack.append((node, True))
+        if isinstance(node, (Sum, Prod)):
+            stack.extend((child, False) for child in reversed(node.children))
+
+
+def node_count(*roots: Node) -> int:
+    """Number of distinct DAG nodes reachable from ``roots`` (with sharing)."""
+    return sum(1 for _ in iter_nodes(*roots))
+
+
+def circuit_depth(root: Node) -> int:
+    """Length (in edges) of the longest leaf-to-root path (leaves have depth 0)."""
+    depths: Dict[int, int] = {}
+    for node in iter_nodes(root):
+        if isinstance(node, (Sum, Prod)):
+            depths[node._id] = 1 + max(depths[child._id] for child in node.children)
+        else:
+            depths[node._id] = 0
+    return depths[root._id]
+
+
+def circuit_variables(*roots: Node) -> frozenset[str]:
+    """The provenance variables occurring in the circuits."""
+    return frozenset(
+        node.name for node in iter_nodes(*roots) if isinstance(node, Var)
+    )
+
+
+def render(root: Node) -> str:
+    """Fully expanded infix rendering (``Sum`` children of ``Prod`` get parens).
+
+    The output length can be exponential in the DAG size -- callers that may
+    hold large circuits should check :func:`node_count` first (as
+    ``CircuitSemiring.format_value`` does) or use the compact summary.
+    """
+    rendered: Dict[int, str] = {}
+    for node in iter_nodes(root):
+        if isinstance(node, Var):
+            rendered[node._id] = node.name
+        elif isinstance(node, Const):
+            rendered[node._id] = str(node.value)
+        elif isinstance(node, Sum):
+            rendered[node._id] = " + ".join(rendered[c._id] for c in node.children)
+        else:
+            parts = []
+            for child in node.children:
+                text = rendered[child._id]
+                parts.append(f"({text})" if isinstance(child, Sum) else text)
+            rendered[node._id] = "·".join(parts)
+    return rendered[root._id]

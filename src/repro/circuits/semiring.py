@@ -1,0 +1,140 @@
+"""``Circ[X]``: the provenance-circuit semiring.
+
+:class:`CircuitSemiring` makes circuits a drop-in annotation structure:
+``add``/``mul`` build interned DAG nodes (with the local simplifications
+``0 + x = x``, ``1 · x = x``, ``0 · x = 0`` and constant folding), so
+:class:`~repro.relations.krelation.KRelation`, every operator of
+:mod:`repro.algebra.operators` and the datalog engine of
+:mod:`repro.datalog.fixpoint` run over circuits *unchanged* -- the same
+genericity argument the paper makes for semirings in general, applied to a
+representation that stays polynomially small where ``N[X]`` explodes.
+
+``Circ[X]`` is (a presentation of) ``N∞[X]``: elements denote polynomials
+via :func:`repro.circuits.evaluate.to_polynomial`, and all semiring laws
+hold *semantically* (two syntactically different circuits may denote the
+same polynomial; equality of annotations is the conservative structural
+one, exactly as cheap and exactly as partial as for hash-consed terms).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.circuits.nodes import (
+    ONE,
+    ZERO,
+    Node,
+    circuit_depth,
+    circuit_variables,
+    const,
+    node_count,
+    prod_node,
+    render,
+    sum_node,
+    var,
+)
+from repro.errors import InvalidAnnotationError
+from repro.semirings.base import Semiring
+from repro.semirings.numeric import NatInf
+
+__all__ = ["CircuitSemiring"]
+
+#: Circuits up to this DAG size are rendered in full by ``format_value``;
+#: larger ones fall back to the compact node-count/depth summary.
+_FULL_RENDER_LIMIT = 24
+
+
+class CircuitSemiring(Semiring):
+    """The hash-consed circuit semiring ``(Circ[X], +, ·, 0, 1)``.
+
+    Use it exactly like :class:`~repro.semirings.polynomial.PolynomialSemiring`
+    -- abstractly tag inputs with :meth:`var`, run any positive-algebra query
+    or datalog program, then evaluate the output circuits through
+    :func:`repro.circuits.evaluate.specialize` / ``eval_circuit`` into any
+    target semiring (Theorem 4.3 without the exponential intermediate).
+    """
+
+    name = "Circ[X]"
+    idempotent_add = False
+    is_omega_continuous = False  # like N[X]: no infinite sums of *circuits*
+    naturally_ordered = True
+
+    def zero(self) -> Node:
+        return ZERO
+
+    def one(self) -> Node:
+        return ONE
+
+    def add(self, a: Node, b: Node) -> Node:
+        return sum_node(a, b)
+
+    def mul(self, a: Node, b: Node) -> Node:
+        return prod_node(a, b)
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, Node)
+
+    def coerce(self, value: Any) -> Node:
+        if isinstance(value, Node):
+            return value
+        from repro.circuits.evaluate import from_polynomial
+        from repro.semirings.polynomial import Monomial, Polynomial
+
+        if isinstance(value, bool):
+            return ONE if value else ZERO
+        if isinstance(value, (int, NatInf)):
+            return const(value)
+        if isinstance(value, (str, Monomial, Polynomial)):
+            return from_polynomial(Polynomial.of(value))
+        raise InvalidAnnotationError(
+            f"{value!r} cannot be read as a provenance circuit"
+        )
+
+    # -- identities (identity checks are exact thanks to interning) ----------
+    def is_zero(self, value: Any) -> bool:
+        return value is ZERO
+
+    def is_one(self, value: Any) -> bool:
+        return value is ONE
+
+    def from_int(self, n: int) -> Node:
+        return self.coerce(n)
+
+    def scale(self, n: int, value: Node) -> Node:
+        return prod_node(const(n), value)
+
+    def power(self, value: Node, n: int) -> Node:
+        if n < 0:
+            raise InvalidAnnotationError("circuits cannot have negative powers")
+        return prod_node(*([value] * n))
+
+    def var(self, name: str) -> Node:
+        """Convenience: the circuit for a single tuple id / variable."""
+        return var(name)
+
+    # -- order ----------------------------------------------------------------
+    def leq(self, a: Node, b: Node) -> bool:
+        """Natural order, decided on the *expanded* polynomials.
+
+        Exact but potentially exponential in the DAG size; intended for
+        tests and small instances, mirroring ``PolynomialSemiring.leq``.
+        """
+        from repro.circuits.evaluate import to_polynomial
+        from repro.semirings.polynomial import PolynomialSemiring
+
+        return PolynomialSemiring(allow_infinite_coefficients=True).leq(
+            to_polynomial(a), to_polynomial(b)
+        )
+
+    # -- display ---------------------------------------------------------------
+    def format_value(self, value: Any) -> str:
+        size = node_count(value)
+        if size <= _FULL_RENDER_LIMIT:
+            return render(value)
+        return self.summarize_value(value)
+
+    def summarize_value(self, value: Any) -> str:
+        return (
+            f"⟨circuit: {node_count(value)} nodes, depth {circuit_depth(value)}, "
+            f"{len(circuit_variables(value))} vars⟩"
+        )

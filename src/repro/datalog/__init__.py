@@ -13,7 +13,13 @@ from repro.datalog.finiteness import (
     analyze_finiteness,
     classify_provenance,
 )
-from repro.datalog.fixpoint import DatalogResult, evaluate, evaluate_program, immediate_consequence
+from repro.datalog.fixpoint import (
+    DatalogResult,
+    evaluate,
+    evaluate_program,
+    immediate_consequence,
+    solve_ground,
+)
 from repro.datalog.grounding import GroundAtom, GroundProgram, GroundRule, ground_program
 from repro.datalog.lattice_eval import (
     LatticeDatalogResult,
@@ -21,7 +27,12 @@ from repro.datalog.lattice_eval import (
     lattice_condition_provenance,
 )
 from repro.datalog.monomial_coefficient import MonomialCoefficientResult, monomial_coefficient
-from repro.datalog.provenance import DatalogProvenance, datalog_provenance
+from repro.datalog.provenance import (
+    DatalogCircuitProvenance,
+    DatalogProvenance,
+    datalog_circuit_provenance,
+    datalog_provenance,
+)
 from repro.datalog.syntax import Program, Rule
 from repro.datalog.translate import cq_to_program, ucq_to_program
 
@@ -36,6 +47,7 @@ __all__ = [
     "evaluate",
     "evaluate_program",
     "immediate_consequence",
+    "solve_ground",
     "AlgebraicSystem",
     "build_algebraic_system",
     "DerivationTree",
@@ -55,7 +67,9 @@ __all__ = [
     "lattice_condition_provenance",
     "evaluate_on_lattice",
     "DatalogProvenance",
+    "DatalogCircuitProvenance",
     "datalog_provenance",
+    "datalog_circuit_provenance",
     "cq_to_program",
     "ucq_to_program",
 ]

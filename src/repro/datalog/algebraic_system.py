@@ -119,9 +119,15 @@ class AlgebraicSystem:
         ``valuation`` maps EDB variables into the target semiring; it defaults
         to coercing the original EDB annotations.  Divergent components (atoms
         with infinitely many derivations) are handled as in
-        :mod:`repro.datalog.fixpoint`: assigned the semiring's top element, or
-        an error when the semiring has none / ``on_divergence="error"``.
+        :mod:`repro.datalog.fixpoint`: ``"top"`` assigns the semiring's top
+        element (an error when the semiring has none), ``"error"`` always
+        raises, and ``"skip"`` drops the divergent components from the
+        solution while keeping the exact values of the convergent ones.
         """
+        if on_divergence not in ("top", "error", "skip"):
+            raise ValueError(
+                f"on_divergence must be 'top', 'error' or 'skip', got {on_divergence!r}"
+            )
         if valuation is None:
             valuation = {
                 variable: semiring.coerce(value)
@@ -144,7 +150,10 @@ class AlgebraicSystem:
                 if semiring.is_zero(valuation.get(variable, semiring.zero()))
             }
             divergent = self._divergent_atoms(zero_edb) & set(idb_atoms)
-            if divergent and (on_divergence == "error" or not semiring.has_top):
+            if divergent and (
+                on_divergence == "error"
+                or (on_divergence == "top" and not semiring.has_top)
+            ):
                 raise DivergenceError(
                     f"{len(divergent)} equation(s) diverge in {semiring.name}"
                 )
@@ -152,8 +161,14 @@ class AlgebraicSystem:
         values: Dict[str, Any] = {
             self.idb_variables[atom]: semiring.zero() for atom in idb_atoms
         }
-        for atom in divergent:
-            values[self.idb_variables[atom]] = semiring.top()
+        # Under "skip" the divergent variables stay at zero during iteration:
+        # every rule of a *convergent* head that mentions a divergent atom is
+        # necessarily killed by a zero-valued EDB factor (otherwise the head
+        # would inherit infinitely many derivations), so the value substituted
+        # for the divergent variable never reaches a kept result.
+        if on_divergence == "top":
+            for atom in divergent:
+                values[self.idb_variables[atom]] = semiring.top()
         finite_variables = [
             self.idb_variables[atom] for atom in idb_atoms if atom not in divergent
         ]
@@ -178,6 +193,12 @@ class AlgebraicSystem:
                     f"algebraic system did not converge within {max_iterations} iterations"
                 )
 
+        if on_divergence == "skip":
+            return {
+                atom: values[self.idb_variables[atom]]
+                for atom in idb_atoms
+                if atom not in divergent
+            }
         return {atom: values[self.idb_variables[atom]] for atom in idb_atoms}
 
     def _divergent_atoms(self, zero_edb: set[GroundAtom]) -> frozenset[GroundAtom]:

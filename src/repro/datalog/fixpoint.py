@@ -38,7 +38,13 @@ from repro.relations.schema import Schema
 from repro.relations.tuples import Tup
 from repro.semirings.base import Semiring
 
-__all__ = ["DatalogResult", "evaluate_program", "evaluate", "immediate_consequence"]
+__all__ = [
+    "DatalogResult",
+    "evaluate_program",
+    "evaluate",
+    "immediate_consequence",
+    "solve_ground",
+]
 
 #: Hard ceiling on Kleene rounds for idempotent semirings (safety net only).
 DEFAULT_MAX_ITERATIONS = 10_000
@@ -141,10 +147,44 @@ def evaluate_program(
     derivation trees when the semiring's addition is not idempotent:
 
     * ``"top"`` (default) -- assign the semiring's top element (requires one);
-    * ``"error"`` -- raise :class:`DivergenceError`.
+    * ``"error"`` -- raise :class:`DivergenceError`;
+    * ``"skip"`` -- drop the divergent atoms from the result, keeping the
+      (exact) annotations of the acyclic remainder.  Useful for provenance
+      representations such as ``N[X]`` polynomials or circuits that have no
+      top element: a finite atom never depends on a divergent one (any
+      derivation of it through a divergent atom would itself be one of
+      infinitely many), so the kept annotations are unaffected.  The skipped
+      atoms are reported in ``DatalogResult.divergent_atoms``.
     """
     semiring = database.semiring
     ground = ground_program(program, database)
+    return solve_ground(
+        ground,
+        semiring,
+        max_iterations=max_iterations,
+        on_divergence=on_divergence,
+    )
+
+
+def solve_ground(
+    ground: GroundProgram,
+    semiring: Semiring,
+    *,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    on_divergence: str = "top",
+) -> DatalogResult:
+    """Kleene-solve an already-grounded program in ``semiring``.
+
+    The engine core behind :func:`evaluate_program`, exposed so callers that
+    already hold a :class:`~repro.datalog.grounding.GroundProgram` (or a
+    re-annotated copy of one, as the circuit provenance path builds) can
+    solve it without grounding a second time.  ``ground.edb_annotations``
+    must already be elements of ``semiring``.
+    """
+    if on_divergence not in ("top", "error", "skip"):
+        raise ValueError(
+            f"on_divergence must be 'top', 'error' or 'skip', got {on_divergence!r}"
+        )
     idb_atoms = ground.idb_atoms
 
     if semiring.idempotent_add:
@@ -154,18 +194,22 @@ def evaluate_program(
         divergent = ground.atoms_with_infinite_derivations() & idb_atoms
         finite_atoms = set(idb_atoms) - divergent
         if divergent:
-            if on_divergence == "error" or not semiring.has_top:
+            if on_divergence == "error" or (
+                on_divergence == "top" and not semiring.has_top
+            ):
                 raise DivergenceError(
                     f"{len(divergent)} tuple(s) have infinitely many derivations and "
                     f"{semiring.name} cannot represent the infinite sum "
-                    "(use an ω-continuous semiring with a top element, e.g. N∞)"
+                    "(use an ω-continuous semiring with a top element, e.g. N∞, "
+                    "or on_divergence='skip' to keep only the convergent atoms)"
                 )
 
-    values: Dict[GroundAtom, Any] = {atom: semiring.zero() for atom in idb_atoms}
-    # Divergent atoms are pinned to top from the start so that finite atoms
-    # depending on them (impossible by construction, but harmless) see the
-    # correct value.
-    if divergent:
+    values: Dict[GroundAtom, Any] = {atom: semiring.zero() for atom in finite_atoms}
+    # Under "top", divergent atoms are pinned to top from the start so that
+    # finite atoms depending on them (impossible by construction, but
+    # harmless) see the correct value; under "skip" they are absent and read
+    # as zero, which finite atoms never observe for the same reason.
+    if divergent and on_divergence == "top":
         top = semiring.top()
         for atom in divergent:
             values[atom] = top

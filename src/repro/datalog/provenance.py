@@ -23,7 +23,7 @@ as such.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Any, Dict, Mapping
 
 from repro.errors import DatalogError
 from repro.datalog.all_trees import all_trees, default_edb_ids
@@ -36,7 +36,12 @@ from repro.semirings.numeric import INFINITY, NatInf
 from repro.semirings.polynomial import Monomial, Polynomial
 from repro.semirings.power_series import FormalPowerSeries, PowerSeriesSemiring
 
-__all__ = ["DatalogProvenance", "datalog_provenance"]
+__all__ = [
+    "DatalogProvenance",
+    "DatalogCircuitProvenance",
+    "datalog_provenance",
+    "datalog_circuit_provenance",
+]
 
 
 @dataclass
@@ -100,19 +105,145 @@ class DatalogProvenance:
         return {atom: s for atom, s in self.series.items() if atom.relation == output}
 
 
+@dataclass
+class DatalogCircuitProvenance:
+    """Hash-consed circuit provenance for the convergent IDB atoms of a query.
+
+    The compact counterpart of :class:`DatalogProvenance`: every atom with
+    finitely many derivation trees gets a circuit denoting exactly its
+    ``N[X]`` provenance polynomial (compare with
+    :func:`~repro.datalog.all_trees.all_trees`), built by running the
+    *unchanged* fixpoint engine over the circuit semiring.  Atoms with
+    infinitely many derivations cannot be represented by a finite circuit
+    and are listed in ``divergent`` (use the series machinery of
+    :func:`datalog_provenance` for those).
+    """
+
+    ground: GroundProgram
+    edb_ids: Dict[GroundAtom, str]
+    circuits: Dict[GroundAtom, Any]
+    divergent: frozenset[GroundAtom]
+    iterations: int
+
+    def provenance(self, atom: GroundAtom | tuple) -> Any:
+        """The provenance circuit of an output/IDB atom (tuples name output atoms)."""
+        if not isinstance(atom, GroundAtom):
+            atom = GroundAtom(self.ground.program.output, tuple(atom))
+        try:
+            return self.circuits[atom]
+        except KeyError:
+            if atom in self.divergent:
+                raise DatalogError(
+                    f"{atom} has infinitely many derivations; its provenance is a "
+                    "proper power series, not a circuit (use datalog_provenance)"
+                ) from None
+            raise DatalogError(f"{atom} is not a derivable IDB atom") from None
+
+    def output_circuits(self) -> Dict[GroundAtom, Any]:
+        """Provenance circuits of the output predicate's atoms only."""
+        output = self.ground.program.output
+        return {a: c for a, c in self.circuits.items() if a.relation == output}
+
+    def to_polynomials(self) -> Dict[GroundAtom, Polynomial]:
+        """Expand every circuit into its ``N[X]`` polynomial (may be large)."""
+        from repro.circuits.evaluate import to_polynomial
+
+        return {atom: to_polynomial(c) for atom, c in self.circuits.items()}
+
+    def evaluate(self, semiring: Semiring, valuation: Mapping[str, object]) -> Dict[GroundAtom, object]:
+        """Evaluate every circuit in ``semiring`` with one shared memo pass.
+
+        The circuit form of the factorization theorem (Theorem 6.4 restricted
+        to polynomial provenance): subcircuits shared between atoms are
+        evaluated once.
+        """
+        from repro.circuits.evaluate import CircuitEvaluator
+
+        evaluator = CircuitEvaluator(semiring, valuation)
+        return {atom: evaluator(c) for atom, c in self.circuits.items()}
+
+    # Alias mirroring the module-level ``specialize`` naming.
+    specialize = evaluate
+
+
+def datalog_circuit_provenance(
+    program: Program | str,
+    database: Database,
+    *,
+    edb_ids: Mapping[GroundAtom, str] | None = None,
+    on_divergence: str = "skip",
+) -> DatalogCircuitProvenance:
+    """Compute hash-consed circuit provenance by running datalog over ``Circ[X]``.
+
+    The EDB facts are abstractly tagged with circuit variables (the same
+    deterministic tuple ids as the series path, so results are directly
+    comparable) and the ordinary Kleene engine of
+    :mod:`repro.datalog.fixpoint` does the rest -- no provenance-specific
+    evaluation code.  The program is grounded once; the engine then solves
+    a re-annotated copy of that grounding directly.  ``on_divergence`` is
+    forwarded to the engine: ``"skip"`` (default) records atoms with
+    infinite provenance in ``divergent`` and keeps the exact circuits of
+    the rest; ``"error"`` raises :class:`~repro.errors.DivergenceError`
+    instead.
+    """
+    from repro.circuits.semiring import CircuitSemiring
+    from repro.datalog.fixpoint import solve_ground
+
+    if isinstance(program, str):
+        program = Program.parse(program)
+    ground = ground_program(program, database)
+    ids = dict(edb_ids) if edb_ids is not None else default_edb_ids(ground)
+
+    circ = CircuitSemiring()
+    circuit_ground = GroundProgram(
+        ground.program,
+        database,
+        list(ground.ground_rules),
+        {atom: circ.var(ids[atom]) for atom in ground.edb_atoms},
+        set(ground.derivable),
+    )
+
+    result = solve_ground(circuit_ground, circ, on_divergence=on_divergence)
+    circuits = {
+        atom: circuit
+        for atom, circuit in result.annotations.items()
+        if not circ.is_zero(circuit)
+    }
+    return DatalogCircuitProvenance(
+        ground=ground,
+        edb_ids=ids,
+        circuits=circuits,
+        divergent=result.divergent_atoms,
+        iterations=result.iterations,
+    )
+
+
 def datalog_provenance(
     program: Program | str,
     database: Database,
     *,
     truncation_degree: int = 6,
     edb_ids: Mapping[GroundAtom, str] | None = None,
-) -> DatalogProvenance:
+    provenance: str = "series",
+) -> DatalogProvenance | DatalogCircuitProvenance:
     """Compute the ``N-inf[[X]]`` provenance of a datalog query (Definition 6.1).
 
     ``truncation_degree`` bounds the total degree up to which coefficients of
     *proper* (non-polynomial) series are reported; polynomial provenance is
     always exact regardless of the bound.
+
+    ``provenance`` selects the representation: ``"series"`` (default) is the
+    paper's expanded polynomial / truncated power-series form;
+    ``"circuit"`` returns a :class:`DatalogCircuitProvenance` with
+    hash-consed DAG annotations instead -- exact for every convergent atom
+    and asymptotically smaller under deep fixpoints.
     """
+    if provenance == "circuit":
+        return datalog_circuit_provenance(program, database, edb_ids=edb_ids)
+    if provenance != "series":
+        raise DatalogError(
+            f"provenance must be 'series' or 'circuit', got {provenance!r}"
+        )
     if isinstance(program, str):
         program = Program.parse(program)
     ground = ground_program(program, database)

@@ -10,12 +10,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
 __all__ = ["format_relation"]
 
 
-def format_relation(relation: "KRelation", *, sort: bool = True, annotation_header: str = "annotation") -> str:
+def format_relation(
+    relation: "KRelation",
+    *,
+    sort: bool = True,
+    annotation_header: str = "annotation",
+    max_annotation_width: int | None = None,
+) -> str:
     """Render a K-relation as an aligned text table.
 
     Columns are the schema attributes followed by the annotation, formatted
     by the relation's semiring.  Rows are sorted by their attribute values
     when ``sort`` is true so output is deterministic.
+
+    ``max_annotation_width`` caps the annotation column: any annotation
+    whose full rendering exceeds it is re-rendered with the semiring's
+    :meth:`~repro.semirings.base.Semiring.summarize_value` (e.g. provenance
+    circuits print as a node-count/depth summary instead of the expanded
+    expression).
     """
     attributes = list(relation.schema.attributes)
     header = attributes + [annotation_header]
@@ -25,7 +37,10 @@ def format_relation(relation: "KRelation", *, sort: bool = True, annotation_head
         items.sort(key=lambda item: tuple(str(v) for v in item[0].values_for(attributes)))
     for tup, annotation in items:
         values = [str(v) for v in tup.values_for(attributes)]
-        values.append(relation.semiring.format_value(annotation))
+        rendered = relation.semiring.format_value(annotation)
+        if max_annotation_width is not None and len(rendered) > max_annotation_width:
+            rendered = relation.semiring.summarize_value(annotation)
+        values.append(rendered)
         rows.append(values)
 
     widths = [len(h) for h in header]

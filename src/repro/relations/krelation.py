@@ -135,6 +135,23 @@ class KRelation:
             self._annotations[tup] = value
         return tup
 
+    def _accumulate(self, tup: Tup, value: Any) -> None:
+        """Internal fast path for the algebra operators: ``add`` without coercion.
+
+        ``tup`` must already be a canonical :class:`Tup` over this schema and
+        ``value`` a carrier element (both hold by construction inside
+        :mod:`repro.algebra.operators`, where every value comes out of this
+        semiring's own operations).  Skipping the per-tuple validation is a
+        measurable win on join/projection hot paths.
+        """
+        current = self._annotations.get(tup)
+        if current is not None:
+            value = self.semiring.add(current, value)
+        if self.semiring.is_zero(value):
+            self._annotations.pop(tup, None)
+        else:
+            self._annotations[tup] = value
+
     def discard(self, row: RowLike) -> None:
         """Remove a tuple from the support (set its annotation to zero)."""
         tup = self._coerce_tuple(row)
@@ -274,11 +291,17 @@ class KRelation:
         return True
 
     # -- display -------------------------------------------------------------------
-    def to_table(self, sort: bool = True) -> str:
-        """Human-readable table of the support with annotations."""
+    def to_table(self, sort: bool = True, *, max_annotation_width: int | None = None) -> str:
+        """Human-readable table of the support with annotations.
+
+        ``max_annotation_width`` summarizes oversized annotations (see
+        :func:`repro.relations.display.format_relation`).
+        """
         from repro.relations.display import format_relation
 
-        return format_relation(self, sort=sort)
+        return format_relation(
+            self, sort=sort, max_annotation_width=max_annotation_width
+        )
 
     def __repr__(self) -> str:
         return (

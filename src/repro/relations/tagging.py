@@ -18,7 +18,7 @@ from repro.relations.database import Database
 from repro.relations.krelation import KRelation
 from repro.relations.tuples import Tup
 from repro.semirings.base import Semiring
-from repro.semirings.polynomial import Polynomial, ProvenancePolynomialSemiring
+from repro.semirings.polynomial import ProvenancePolynomialSemiring
 
 __all__ = ["TaggedDatabase", "abstractly_tag", "abstractly_tag_database"]
 
@@ -62,12 +62,21 @@ class TaggedDatabase:
         return self._by_variable[variable]
 
 
+def _variable_annotation(semiring: Semiring, name: str) -> Any:
+    """The annotation representing bare variable ``name`` in ``semiring``."""
+    maker = getattr(semiring, "var", None)
+    if maker is not None:
+        return maker(name)
+    return semiring.coerce(name)
+
+
 def abstractly_tag(
     relation: KRelation,
     *,
     relation_name: str = "R",
     id_format: str = "{name}{index}",
     ids: Mapping[Any, str] | None = None,
+    semiring: Semiring | None = None,
 ) -> tuple[KRelation, Dict[str, Any], Dict[tuple[str, Tup], str]]:
     """Tag every support tuple of ``relation`` with its own fresh variable.
 
@@ -76,8 +85,14 @@ def abstractly_tag(
     tuple's original annotation and ``tuple_ids`` maps ``(relation_name,
     tuple)`` to the variable.  Pass ``ids`` to pin specific variable names to
     specific tuples (as the paper does with ``p, r, s`` in Figure 5).
+
+    ``semiring`` selects the provenance representation: the default is the
+    paper's expanded polynomials ``N[X]``; pass
+    :class:`~repro.circuits.semiring.CircuitSemiring` (or any semiring with
+    a ``var`` constructor) to tag with hash-consed circuit variables
+    instead.
     """
-    provenance = ProvenancePolynomialSemiring()
+    provenance = semiring if semiring is not None else ProvenancePolynomialSemiring()
     tagged = KRelation(provenance, relation.schema)
     valuation: Dict[str, Any] = {}
     tuple_ids: Dict[tuple[str, Tup], str] = {}
@@ -93,7 +108,7 @@ def abstractly_tag(
         variable = explicit.get(tup) or id_format.format(name=relation_name.lower(), index=index)
         if variable in valuation:
             raise ValueError(f"duplicate tuple id {variable!r}")
-        tagged.set(tup, Polynomial.var(variable))
+        tagged.set(tup, _variable_annotation(provenance, variable))
         valuation[variable] = annotation
         tuple_ids[(relation_name, tup)] = variable
     return tagged, valuation, tuple_ids
@@ -103,13 +118,16 @@ def abstractly_tag_database(
     database: Database,
     *,
     ids: Mapping[str, Mapping[Any, str]] | None = None,
+    semiring: Semiring | None = None,
 ) -> TaggedDatabase:
     """Tag every relation of ``database``, producing an ``N[X]`` database.
 
     ``ids`` may pin variable names per relation:
-    ``{"R": {("a", "b", "c"): "p", ...}}``.
+    ``{"R": {("a", "b", "c"): "p", ...}}``.  ``semiring`` selects the
+    provenance representation (expanded polynomials by default, circuits
+    when a :class:`~repro.circuits.semiring.CircuitSemiring` is passed).
     """
-    provenance = ProvenancePolynomialSemiring()
+    provenance = semiring if semiring is not None else ProvenancePolynomialSemiring()
     tagged_db = Database(provenance)
     valuation: Dict[str, Any] = {}
     tuple_ids: Dict[tuple[str, Tup], str] = {}
@@ -118,6 +136,7 @@ def abstractly_tag_database(
             relation,
             relation_name=name,
             ids=(ids or {}).get(name),
+            semiring=provenance,
         )
         overlap = set(rel_valuation) & set(valuation)
         if overlap:

@@ -215,6 +215,16 @@ class Semiring:
         """Render ``value`` for display in tables and reports."""
         return str(value)
 
+    def summarize_value(self, value: Any) -> str:
+        """Render ``value`` compactly when the full form would be too wide.
+
+        Used by :mod:`repro.relations.display` when a caller caps the
+        annotation column width.  Semirings with potentially huge values
+        (provenance circuits) override this with a size summary; the default
+        is the ordinary rendering.
+        """
+        return self.format_value(value)
+
     def check(self, value: Any) -> Any:
         """Validate that ``value`` is a carrier element and return it."""
         if not self.contains(value):

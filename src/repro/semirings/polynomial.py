@@ -407,10 +407,31 @@ class Polynomial:
         value, per Proposition 4.2; infinite coefficients require the target
         to be omega-continuous and are evaluated as the supremum of the
         finite multiples.
+
+        Each variable's value is looked up once and each ``v(x)^e`` power is
+        computed once, then shared across all monomials -- on polynomials
+        with many terms (deep joins, fixpoints) this avoids re-deriving the
+        same powers monomial by monomial.
         """
+        if not self._terms:
+            return semiring.zero()
+        values: Dict[str, Any] = {}
+        for variable in self.variables:
+            if variable not in valuation:
+                raise SemiringError(f"valuation is missing variable {variable!r}")
+            values[variable] = valuation[variable]
+        power_cache: Dict[tuple[str, int], Any] = {}
+        mul, power = semiring.mul, semiring.power
         result = semiring.zero()
         for monomial, coefficient in self._terms:
-            value = monomial.evaluate(semiring, valuation)
+            value = semiring.one()
+            for variable, exponent in monomial.powers:
+                key = (variable, exponent)
+                powered = power_cache.get(key)
+                if powered is None:
+                    powered = power(values[variable], exponent)
+                    power_cache[key] = powered
+                value = mul(value, powered)
             result = semiring.add(result, _scale_in(semiring, coefficient, value))
         return result
 

@@ -23,6 +23,15 @@ from repro.semirings.tropical import TropicalSemiring
 
 __all__ = ["register_semiring", "get_semiring", "available_semirings"]
 
+
+def _circuit_semiring() -> Semiring:
+    # Imported lazily: repro.circuits depends on repro.semirings modules, so
+    # importing it at module load would re-enter this package mid-init.
+    from repro.circuits.semiring import CircuitSemiring
+
+    return CircuitSemiring()
+
+
 _FACTORIES: Dict[str, Callable[[], Semiring]] = {
     "bool": BooleanSemiring,
     "boolean": BooleanSemiring,
@@ -45,6 +54,9 @@ _FACTORIES: Dict[str, Callable[[], Semiring]] = {
     "nx": ProvenancePolynomialSemiring,
     "polynomial-inf": lambda: PolynomialSemiring(allow_infinite_coefficients=True),
     "power-series": PowerSeriesSemiring,
+    "circuit": _circuit_semiring,
+    "circ": _circuit_semiring,
+    "provenance-circuit": _circuit_semiring,
 }
 
 

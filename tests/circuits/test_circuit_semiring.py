@@ -1,0 +1,170 @@
+"""``Circ[X]`` as a drop-in annotation semiring.
+
+Circuit equality is structural (hash-consed), so the semiring laws hold
+*semantically*: both sides of each law must expand to the same ``N[X]``
+polynomial (commutativity even holds structurally, since children are kept
+sorted).  That is the same notion of correctness the paper uses for
+``N[X]`` itself -- circuits are just a smaller presentation of it.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import (
+    CircuitSemiring,
+    circuit_evaluation,
+    from_polynomial,
+    node_count,
+    to_polynomial,
+)
+from repro.errors import InvalidAnnotationError
+from repro.relations.krelation import KRelation
+from repro.relations.tagging import abstractly_tag
+from repro.semirings import (
+    NaturalsSemiring,
+    Polynomial,
+    PosBoolSemiring,
+    check_homomorphism,
+    get_semiring,
+)
+from repro.semirings.numeric import INFINITY
+
+CIRC = CircuitSemiring()
+
+
+def random_circuit(rng: random.Random, depth: int = 0):
+    """A random circuit over variables p, q, r with small constants."""
+    if depth >= 4 or rng.random() < 0.35:
+        return rng.choice(
+            [CIRC.var("p"), CIRC.var("q"), CIRC.var("r"), CIRC.coerce(rng.randint(0, 3))]
+        )
+    left = random_circuit(rng, depth + 1)
+    right = random_circuit(rng, depth + 1)
+    return CIRC.add(left, right) if rng.random() < 0.5 else CIRC.mul(left, right)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_semiring_laws_hold_semantically(seed):
+    rng = random.Random(seed)
+    samples = [random_circuit(rng) for _ in range(6)]
+    P = to_polynomial
+    for a in samples:
+        assert P(CIRC.add(a, CIRC.zero())) == P(a)
+        assert P(CIRC.mul(a, CIRC.one())) == P(a)
+        assert P(CIRC.mul(a, CIRC.zero())) == Polynomial.zero()
+        for b in samples:
+            # commutativity is structural
+            assert CIRC.add(a, b) is CIRC.add(b, a)
+            assert CIRC.mul(a, b) is CIRC.mul(b, a)
+            for c in samples[:3]:
+                assert P(CIRC.add(CIRC.add(a, b), c)) == P(CIRC.add(a, CIRC.add(b, c)))
+                assert P(CIRC.mul(CIRC.mul(a, b), c)) == P(CIRC.mul(a, CIRC.mul(b, c)))
+                assert P(CIRC.mul(a, CIRC.add(b, c))) == P(
+                    CIRC.add(CIRC.mul(a, b), CIRC.mul(a, c))
+                )
+
+
+def test_identity_checks_are_exact():
+    assert CIRC.is_zero(CIRC.zero()) and not CIRC.is_zero(CIRC.one())
+    assert CIRC.is_one(CIRC.one()) and not CIRC.is_one(CIRC.var("p"))
+    # is_zero survives round trips through the operations
+    assert CIRC.is_zero(CIRC.mul(CIRC.var("p"), CIRC.zero()))
+    assert CIRC.is_one(CIRC.mul(CIRC.one(), CIRC.one()))
+
+
+def test_coerce_accepts_the_usual_surrogates():
+    assert CIRC.coerce(True) is CIRC.one()
+    assert CIRC.coerce(False) is CIRC.zero()
+    assert to_polynomial(CIRC.coerce(3)) == Polynomial.constant(3)
+    assert to_polynomial(CIRC.coerce("p")) == Polynomial.var("p")
+    assert to_polynomial(CIRC.coerce("2*p^2 + r*s")) == Polynomial.parse("2*p^2 + r*s")
+    assert to_polynomial(CIRC.coerce(Polynomial.parse("p + r"))) == Polynomial.parse("p + r")
+    assert to_polynomial(CIRC.coerce(INFINITY)) == Polynomial.constant(INFINITY)
+    with pytest.raises(InvalidAnnotationError):
+        CIRC.coerce(2.5)
+
+
+def test_from_int_scale_power_build_compact_circuits():
+    p = CIRC.var("p")
+    assert to_polynomial(CIRC.from_int(4)) == Polynomial.constant(4)
+    assert to_polynomial(CIRC.scale(3, p)) == Polynomial.parse("3*p")
+    assert to_polynomial(CIRC.power(p, 3)) == Polynomial.parse("p^3")
+    assert CIRC.power(p, 0) is CIRC.one()
+    # scale builds one Const·p product, not a 3-term sum
+    assert node_count(CIRC.scale(3, p)) == 3
+
+
+def test_leq_matches_polynomial_natural_order():
+    p, r = CIRC.var("p"), CIRC.var("r")
+    assert CIRC.leq(p, CIRC.add(p, r))
+    assert not CIRC.leq(CIRC.add(p, r), p)
+
+
+def test_polynomial_round_trip():
+    for text in ["0", "1", "p", "2*p^2 + r*s", "p + r + 3"]:
+        polynomial = Polynomial.parse(text)
+        assert to_polynomial(from_polynomial(polynomial)) == polynomial
+
+
+def test_registered_in_the_semiring_registry():
+    assert isinstance(get_semiring("circuit"), CircuitSemiring)
+    assert isinstance(get_semiring("circ"), CircuitSemiring)
+    assert isinstance(get_semiring("provenance-circuit"), CircuitSemiring)
+
+
+def test_circuit_evaluation_is_a_homomorphism():
+    rng = random.Random(7)
+    samples = [random_circuit(rng) for _ in range(5)]
+    eval_n = circuit_evaluation(NaturalsSemiring(), {"p": 2, "q": 3, "r": 5})
+    assert not check_homomorphism(eval_n, samples)
+    eval_posbool = circuit_evaluation(PosBoolSemiring(), {"p": "b1", "q": "b2", "r": "b3"})
+    assert not check_homomorphism(eval_posbool, samples)
+
+
+def test_format_value_switches_to_summary_for_large_circuits():
+    small = CIRC.add(CIRC.var("p"), CIRC.var("r"))
+    assert CIRC.format_value(small) in ("p + r", "r + p")
+    big = CIRC.one()
+    for i in range(40):
+        big = CIRC.add(CIRC.mul(big, CIRC.var(f"v{i}")), CIRC.var(f"w{i}"))
+    text = CIRC.format_value(big)
+    assert "circuit" in text and "nodes" in text and "depth" in text
+
+
+def test_display_summarizes_wide_annotations():
+    relation = KRelation(CIRC, ["a"])
+    # Small DAG (renders in full) whose text form is still wide: the width
+    # cap, not the node-count limit, must trigger the summary.
+    annotation = CIRC.one()
+    for i in range(5):
+        annotation = CIRC.mul(
+            annotation, CIRC.add(CIRC.var(f"long_variable_x{i}"), CIRC.var(f"long_variable_y{i}"))
+        )
+    relation.set(("t1",), annotation)
+    assert "long_variable_x0" in relation.to_table()
+    capped = relation.to_table(max_annotation_width=40)
+    assert "⟨circuit:" in capped and "long_variable_x0" not in capped
+
+
+def test_abstract_tagging_into_the_circuit_semiring():
+    bag = NaturalsSemiring()
+    relation = KRelation(bag, ["a", "b"], [(("1", "2"), 2), (("2", "3"), 5)])
+    tagged, valuation, tuple_ids = abstractly_tag(relation, semiring=CIRC)
+    assert tagged.semiring is CIRC
+    assert set(valuation.values()) == {2, 5}
+    for tup, annotation in tagged.items():
+        assert to_polynomial(annotation) == Polynomial.var(tuple_ids[("R", tup)])
+
+
+def test_krelation_algebra_runs_unchanged_over_circuits():
+    r = KRelation(CIRC, ["a", "b"])
+    r.set(("1", "2"), CIRC.var("p"))
+    r.set(("2", "3"), CIRC.var("r"))
+    s = KRelation(CIRC, ["b", "c"])
+    s.set(("2", "9"), CIRC.var("s"))
+    joined = r.join(s)
+    assert len(joined) == 1
+    assert to_polynomial(joined.annotation({"a": "1", "b": "2", "c": "9"})) == Polynomial.parse("p*s")
+    projected = joined.project(["a"]).union(r.project(["a"]))
+    assert to_polynomial(projected.annotation({"a": "1"})) == Polynomial.parse("p*s + p")
