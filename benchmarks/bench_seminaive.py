@@ -1,0 +1,110 @@
+"""S4: semi-naive vs naive datalog engine.
+
+Times both engines of :func:`repro.datalog.evaluate_program` on the
+transitive-closure workloads of ``bench_scaling_datalog.py``, scaled up to
+graph sizes where the naive engine's ground-everything-then-iterate strategy
+hits its wall.  The acceptance bar for this file is a >= 5x semi-naive win
+on the largest instance of the series (every run also cross-checks that the
+two engines produced identical annotations, so the benchmark doubles as an
+end-to-end equivalence test).
+
+Runs standalone (CI smoke): ``PYTHONPATH=src python benchmarks/bench_seminaive.py``
+or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_seminaive.py``.
+"""
+
+import time
+
+from conftest import report
+
+from repro.datalog import evaluate_program
+from repro.semirings import (
+    BooleanSemiring,
+    CompletedNaturalsSemiring,
+    TropicalSemiring,
+)
+from repro.workloads import random_graph_database, transitive_closure_program
+
+#: The instance series: (semiring, node count).  The last entry is "the
+#: largest scaling instance" the acceptance criterion refers to.
+INSTANCES = [
+    (BooleanSemiring(), 12),
+    (CompletedNaturalsSemiring(), 16),
+    (TropicalSemiring(), 16),
+    (BooleanSemiring(), 16),
+    (TropicalSemiring(), 24),
+]
+
+EDGE_PROBABILITY = 0.18
+SEED = 9
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    result = thunk()
+    return result, time.perf_counter() - start
+
+
+def _record(semiring, nodes):
+    database = random_graph_database(
+        semiring, nodes=nodes, edge_probability=EDGE_PROBABILITY, seed=SEED
+    )
+    program = transitive_closure_program()
+    naive, naive_time = _timed(lambda: evaluate_program(program, database))
+    seminaive, seminaive_time = _timed(
+        lambda: evaluate_program(program, database, engine="seminaive")
+    )
+    assert naive.annotations == seminaive.annotations, (
+        f"engines disagree on {semiring.name}, nodes={nodes}"
+    )
+    return {
+        "tag": f"TC on random graph ({semiring.name}, nodes={nodes})",
+        "naive_time": naive_time,
+        "seminaive_time": seminaive_time,
+        "naive_rounds": naive.iterations,
+        "seminaive_rounds": seminaive.iterations,
+        "tuples": len(seminaive.annotations),
+    }
+
+
+def _lines(record):
+    ratio = record["naive_time"] / max(record["seminaive_time"], 1e-9)
+    return [
+        f"{record['tag']}: {record['tuples']} derived tuples",
+        f"  naive     {record['naive_time'] * 1e3:8.1f} ms in {record['naive_rounds']} rounds",
+        f"  seminaive {record['seminaive_time'] * 1e3:8.1f} ms in {record['seminaive_rounds']} rounds  ({ratio:.1f}x faster)",
+    ]
+
+
+def _speedup(record):
+    return record["naive_time"] / max(record["seminaive_time"], 1e-9)
+
+
+def test_seminaive_matches_naive_across_series():
+    lines = []
+    for semiring, nodes in INSTANCES[:-1]:
+        lines.extend(_lines(_record(semiring, nodes)))
+    report("S4: semi-naive vs naive datalog engine (series)", lines)
+
+
+def test_seminaive_beats_naive_on_largest_instance():
+    semiring, nodes = INSTANCES[-1]
+    record = _record(semiring, nodes)
+    report("S4: semi-naive vs naive (largest scaling instance)", _lines(record))
+    assert _speedup(record) >= 5.0, (
+        f"expected a >=5x semi-naive win on the largest instance, "
+        f"got {_speedup(record):.2f}x"
+    )
+
+
+def main() -> None:
+    records = [_record(semiring, nodes) for semiring, nodes in INSTANCES]
+    for record in records:
+        for line in _lines(record):
+            print(line)
+    largest = records[-1]
+    print(f"\nlargest-instance semi-naive win: {_speedup(largest):.1f}x (need >= 5x)")
+    assert _speedup(largest) >= 5.0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,31 @@
-"""Legacy setup shim.
+"""Package metadata and install configuration.
 
-The project metadata lives in ``pyproject.toml``; this file exists only so
-that ``pip install -e .`` works in offline environments whose setuptools
-cannot build PEP 660 editable wheels (no ``wheel`` package available).
+The project is a plain src-layout package; tests run straight off the tree
+with ``PYTHONPATH=src`` (no install needed), so the dependency story lives
+here: the library itself is dependency-free, and the ``test`` extra pins the
+floor versions CI installs (``hypothesis`` powers the differential
+property-test harness in ``tests/``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-provenance-semirings",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Provenance Semirings' (Green, Karvounarakis & "
+        "Tannen, PODS 2007): K-relations, positive relational algebra and "
+        "datalog over arbitrary commutative semirings"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        "test": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.80",
+        ],
+    },
+)

@@ -107,6 +107,16 @@ from repro.circuits import (
     specialize,
     to_polynomial,
 )
+from repro.datalog import (
+    DatalogCircuitProvenance,
+    DatalogProvenance,
+    DatalogResult,
+    Program,
+    Rule,
+    datalog_circuit_provenance,
+    datalog_provenance,
+    evaluate_program,
+)
 
 __version__ = "1.0.0"
 
@@ -167,6 +177,15 @@ __all__ = [
     "to_polynomial",
     "from_polynomial",
     "specialize",
+    # datalog
+    "Program",
+    "Rule",
+    "DatalogResult",
+    "evaluate_program",
+    "DatalogProvenance",
+    "DatalogCircuitProvenance",
+    "datalog_provenance",
+    "datalog_circuit_provenance",
     # algebra
     "Q",
     "Query",

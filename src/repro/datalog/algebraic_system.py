@@ -113,6 +113,7 @@ class AlgebraicSystem:
         *,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         on_divergence: str = "top",
+        engine: str = "naive",
     ) -> Dict[GroundAtom, Any]:
         """Least solution of the system in ``semiring`` (Definition 5.5).
 
@@ -123,11 +124,20 @@ class AlgebraicSystem:
         element (an error when the semiring has none), ``"error"`` always
         raises, and ``"skip"`` drops the divergent components from the
         solution while keeping the exact values of the convergent ones.
+
+        ``engine="seminaive"`` replaces the round-robin Kleene iteration with
+        a dependency-aware worklist: after each round only the equations whose
+        right-hand side mentions a changed variable are re-evaluated.  The
+        least solution is the same (the worklist performs chaotic iteration
+        of the same monotone operator).
         """
         if on_divergence not in ("top", "error", "skip"):
             raise ValueError(
                 f"on_divergence must be 'top', 'error' or 'skip', got {on_divergence!r}"
             )
+        from repro.datalog.fixpoint import _check_engine
+
+        _check_engine(engine)
         if valuation is None:
             valuation = {
                 variable: semiring.coerce(value)
@@ -177,21 +187,24 @@ class AlgebraicSystem:
         if not semiring.idempotent_add:
             rounds = min(rounds, len(finite_variables) + 1)
 
-        for _ in range(rounds):
-            assignment = {**valuation, **values}
-            changed = False
-            for variable in finite_variables:
-                new_value = self.equations[variable].evaluate(semiring, assignment)
-                if new_value != values[variable]:
-                    values[variable] = new_value
-                    changed = True
-            if not changed:
-                break
+        if engine == "seminaive":
+            self._solve_worklist(semiring, valuation, values, finite_variables, rounds)
         else:
-            if semiring.idempotent_add:
-                raise DivergenceError(
-                    f"algebraic system did not converge within {max_iterations} iterations"
-                )
+            for _ in range(rounds):
+                assignment = {**valuation, **values}
+                changed = False
+                for variable in finite_variables:
+                    new_value = self.equations[variable].evaluate(semiring, assignment)
+                    if new_value != values[variable]:
+                        values[variable] = new_value
+                        changed = True
+                if not changed:
+                    break
+            else:
+                if semiring.idempotent_add:
+                    raise DivergenceError(
+                        f"algebraic system did not converge within {max_iterations} iterations"
+                    )
 
         if on_divergence == "skip":
             return {
@@ -200,6 +213,40 @@ class AlgebraicSystem:
                 if atom not in divergent
             }
         return {atom: values[self.idb_variables[atom]] for atom in idb_atoms}
+
+    def _solve_worklist(
+        self,
+        semiring: Semiring,
+        valuation: Mapping[str, Any],
+        values: Dict[str, Any],
+        finite_variables: list[str],
+        rounds: int,
+    ) -> None:
+        """Rounds of chaotic iteration re-evaluating only affected equations."""
+        finite = set(finite_variables)
+        dependents: Dict[str, set[str]] = {}
+        for variable in finite_variables:
+            for dependency in self.equations[variable].variables & finite:
+                dependents.setdefault(dependency, set()).add(variable)
+
+        dirty = set(finite_variables)
+        performed = 0
+        while dirty:
+            if performed >= rounds:
+                if semiring.idempotent_add:
+                    raise DivergenceError(
+                        f"algebraic system did not converge within {rounds} iterations"
+                    )
+                break
+            performed += 1
+            assignment = {**valuation, **values}
+            next_dirty: set[str] = set()
+            for variable in dirty:
+                new_value = self.equations[variable].evaluate(semiring, assignment)
+                if new_value != values[variable]:
+                    values[variable] = new_value
+                    next_dirty |= dependents.get(variable, set())
+            dirty = next_dirty
 
     def _divergent_atoms(self, zero_edb: set[GroundAtom]) -> frozenset[GroundAtom]:
         """Atoms with infinitely many derivations, ignoring rules killed by zero EDB facts."""

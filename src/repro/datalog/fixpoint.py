@@ -66,7 +66,13 @@ class DatalogResult:
         semirings).
     ground:
         The grounded program the evaluation ran on (useful for inspecting the
-        instantiation, e.g. in tests of Theorem 6.5).
+        instantiation, e.g. in tests of Theorem 6.5).  Caveat: for idempotent
+        semirings the semi-naive engine never materializes the instantiation
+        (that is where its speed comes from), so its result's ``ground``
+        carries the derivable atoms and EDB annotations but an **empty rule
+        list**; use ``engine="naive"`` (or
+        :func:`~repro.datalog.grounding.ground_program`) when the ground
+        rules themselves are needed.
     """
 
     annotations: Dict[GroundAtom, Any]
@@ -135,11 +141,12 @@ def immediate_consequence(
 
 
 def evaluate_program(
-    program: Program,
+    program: Program | str,
     database: Database,
     *,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     on_divergence: str = "top",
+    engine: str = "naive",
 ) -> DatalogResult:
     """Evaluate ``program`` over ``database`` in the database's semiring.
 
@@ -155,7 +162,29 @@ def evaluate_program(
       derivation of it through a divergent atom would itself be one of
       infinitely many), so the kept annotations are unaffected.  The skipped
       atoms are reported in ``DatalogResult.divergent_atoms``.
+
+    ``engine`` selects the evaluation strategy: ``"naive"`` (default) grounds
+    the program and Kleene-iterates the immediate-consequence operator --
+    the reference implementation, closest to the paper's Definition 5.5;
+    ``"seminaive"`` runs the delta-driven engine of
+    :mod:`repro.datalog.seminaive`, which produces identical annotations and
+    is asymptotically faster on recursive programs.  The engines differ in
+    one inspection detail: for idempotent semirings the semi-naive result's
+    ``ground`` carries no rule instantiations (see
+    :attr:`DatalogResult.ground`).
     """
+    _check_engine(engine)
+    if isinstance(program, str):
+        program = Program.parse(program)
+    if engine == "seminaive":
+        from repro.datalog.seminaive import evaluate_program_seminaive
+
+        return evaluate_program_seminaive(
+            program,
+            database,
+            max_iterations=max_iterations,
+            on_divergence=on_divergence,
+        )
     semiring = database.semiring
     ground = ground_program(program, database)
     return solve_ground(
@@ -164,6 +193,46 @@ def evaluate_program(
         max_iterations=max_iterations,
         on_divergence=on_divergence,
     )
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ("naive", "seminaive"):
+        raise ValueError(
+            f"engine must be 'naive' or 'seminaive', got {engine!r}"
+        )
+
+
+def classify_divergence(
+    ground: GroundProgram, semiring: Semiring, on_divergence: str
+) -> tuple[frozenset[GroundAtom], set[GroundAtom]]:
+    """Split the derivable IDB atoms into ``(divergent, finite)`` sets.
+
+    The single place both engines apply the divergence policy: validates
+    ``on_divergence``, classifies nothing as divergent under idempotent
+    addition, and otherwise raises :class:`DivergenceError` when divergent
+    atoms exist but the policy (or the semiring's lack of a top element)
+    cannot absorb them.
+    """
+    if on_divergence not in ("top", "error", "skip"):
+        raise ValueError(
+            f"on_divergence must be 'top', 'error' or 'skip', got {on_divergence!r}"
+        )
+    idb_atoms = ground.idb_atoms
+    if semiring.idempotent_add:
+        return frozenset(), set(idb_atoms)
+    divergent = ground.atoms_with_infinite_derivations() & idb_atoms
+    finite = set(idb_atoms) - divergent
+    if divergent:
+        if on_divergence == "error" or (
+            on_divergence == "top" and not semiring.has_top
+        ):
+            raise DivergenceError(
+                f"{len(divergent)} tuple(s) have infinitely many derivations and "
+                f"{semiring.name} cannot represent the infinite sum "
+                "(use an ω-continuous semiring with a top element, e.g. N∞, "
+                "or on_divergence='skip' to keep only the convergent atoms)"
+            )
+    return divergent, finite
 
 
 def solve_ground(
@@ -181,28 +250,7 @@ def solve_ground(
     solve it without grounding a second time.  ``ground.edb_annotations``
     must already be elements of ``semiring``.
     """
-    if on_divergence not in ("top", "error", "skip"):
-        raise ValueError(
-            f"on_divergence must be 'top', 'error' or 'skip', got {on_divergence!r}"
-        )
-    idb_atoms = ground.idb_atoms
-
-    if semiring.idempotent_add:
-        divergent: frozenset[GroundAtom] = frozenset()
-        finite_atoms = set(idb_atoms)
-    else:
-        divergent = ground.atoms_with_infinite_derivations() & idb_atoms
-        finite_atoms = set(idb_atoms) - divergent
-        if divergent:
-            if on_divergence == "error" or (
-                on_divergence == "top" and not semiring.has_top
-            ):
-                raise DivergenceError(
-                    f"{len(divergent)} tuple(s) have infinitely many derivations and "
-                    f"{semiring.name} cannot represent the infinite sum "
-                    "(use an ω-continuous semiring with a top element, e.g. N∞, "
-                    "or on_divergence='skip' to keep only the convergent atoms)"
-                )
+    divergent, finite_atoms = classify_divergence(ground, semiring, on_divergence)
 
     values: Dict[GroundAtom, Any] = {atom: semiring.zero() for atom in finite_atoms}
     # Under "top", divergent atoms are pinned to top from the start so that
@@ -252,6 +300,7 @@ def evaluate(
     *,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     on_divergence: str = "top",
+    engine: str = "naive",
 ) -> KRelation:
     """Convenience wrapper: evaluate and return the output predicate's K-relation."""
     if isinstance(program, str):
@@ -261,5 +310,6 @@ def evaluate(
         database,
         max_iterations=max_iterations,
         on_divergence=on_divergence,
+        engine=engine,
     )
     return result.output_relation(database)

@@ -20,7 +20,13 @@ from repro.logic import Atom, Constant, Variable, unify_ground
 from repro.relations.database import Database
 from repro.relations.tuples import Tup
 
-__all__ = ["GroundAtom", "GroundRule", "GroundProgram", "ground_program"]
+__all__ = [
+    "GroundAtom",
+    "GroundRule",
+    "GroundProgram",
+    "ground_program",
+    "collect_edb_annotations",
+]
 
 
 @dataclass(frozen=True)
@@ -167,6 +173,27 @@ class GroundProgram:
             frontier.extend(forward.get(current, ()))
         return frozenset(reachable & self.derivable)
 
+    def reannotate(self, edb_annotations: Mapping[GroundAtom, Any]) -> "GroundProgram":
+        """A copy of this grounding with the EDB facts annotated differently.
+
+        The provenance paths use this to re-run the same instantiation under
+        an abstract tagging (circuit variables, polynomial variables, ...)
+        without grounding a second time.  ``edb_annotations`` must cover every
+        EDB fact of this grounding.
+        """
+        missing = self.edb_atoms - set(edb_annotations)
+        if missing:
+            raise GroundingError(
+                f"reannotation is missing values for {len(missing)} EDB fact(s)"
+            )
+        return GroundProgram(
+            self.program,
+            self.database,
+            list(self.ground_rules),
+            {atom: edb_annotations[atom] for atom in self.edb_atoms},
+            set(self.derivable),
+        )
+
     def atoms_with_unit_rule_cycles(self) -> frozenset[GroundAtom]:
         """Atoms involved in (or reachable from) a cycle of grounded unit rules.
 
@@ -206,22 +233,7 @@ def ground_program(program: Program, database: Database) -> GroundProgram:
     support for every omega-continuous semiring); the ground rules are then
     all rule instantiations whose body atoms are derivable.
     """
-    edb_annotations: Dict[GroundAtom, Any] = {}
-    for predicate in program.edb_predicates:
-        if predicate not in database:
-            raise GroundingError(
-                f"program uses EDB predicate {predicate!r} but the database has no such relation"
-            )
-        relation = database.relation(predicate)
-        if len(relation.schema) != program.arity(predicate):
-            raise GroundingError(
-                f"relation {predicate!r} has arity {len(relation.schema)}, "
-                f"program expects {program.arity(predicate)}"
-            )
-        attributes = relation.schema.attributes
-        for tup, annotation in relation.items():
-            atom = GroundAtom(predicate, tup.values_for(attributes))
-            edb_annotations[atom] = annotation
+    edb_annotations = collect_edb_annotations(program, database)
 
     # Boolean bottom-up fixpoint for the derivable atoms.
     known: Set[GroundAtom] = set(edb_annotations)
@@ -262,6 +274,31 @@ def ground_program(program: Program, database: Database) -> GroundProgram:
             ground_rules.append(GroundRule(head_atom, body_atoms, index))
 
     return GroundProgram(program, database, ground_rules, edb_annotations, known)
+
+
+def collect_edb_annotations(program: Program, database: Database) -> Dict[GroundAtom, Any]:
+    """Read the program's EDB facts out of ``database`` as annotated ground atoms.
+
+    Validates that every EDB predicate names a database relation of the right
+    arity -- the shared input contract of the naive and semi-naive engines.
+    """
+    edb_annotations: Dict[GroundAtom, Any] = {}
+    for predicate in program.edb_predicates:
+        if predicate not in database:
+            raise GroundingError(
+                f"program uses EDB predicate {predicate!r} but the database has no such relation"
+            )
+        relation = database.relation(predicate)
+        if len(relation.schema) != program.arity(predicate):
+            raise GroundingError(
+                f"relation {predicate!r} has arity {len(relation.schema)}, "
+                f"program expects {program.arity(predicate)}"
+            )
+        attributes = relation.schema.attributes
+        for tup, annotation in relation.items():
+            atom = GroundAtom(predicate, tup.values_for(attributes))
+            edb_annotations[atom] = annotation
+    return edb_annotations
 
 
 def _instantiate(atom: Atom, assignment: Mapping[Variable, Any]) -> Tuple[Any, ...]:

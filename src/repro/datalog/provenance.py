@@ -172,6 +172,7 @@ def datalog_circuit_provenance(
     *,
     edb_ids: Mapping[GroundAtom, str] | None = None,
     on_divergence: str = "skip",
+    engine: str = "naive",
 ) -> DatalogCircuitProvenance:
     """Compute hash-consed circuit provenance by running datalog over ``Circ[X]``.
 
@@ -184,26 +185,27 @@ def datalog_circuit_provenance(
     forwarded to the engine: ``"skip"`` (default) records atoms with
     infinite provenance in ``divergent`` and keeps the exact circuits of
     the rest; ``"error"`` raises :class:`~repro.errors.DivergenceError`
-    instead.
+    instead.  ``engine="seminaive"`` solves the re-annotated grounding in
+    one topological pass (:func:`repro.datalog.seminaive.solve_ground_seminaive`)
+    instead of Kleene rounds; the circuits are structurally identical.
     """
     from repro.circuits.semiring import CircuitSemiring
-    from repro.datalog.fixpoint import solve_ground
+    from repro.datalog.fixpoint import _check_engine, solve_ground
+    from repro.datalog.seminaive import solve_ground_seminaive
 
+    _check_engine(engine)
     if isinstance(program, str):
         program = Program.parse(program)
     ground = ground_program(program, database)
     ids = dict(edb_ids) if edb_ids is not None else default_edb_ids(ground)
 
     circ = CircuitSemiring()
-    circuit_ground = GroundProgram(
-        ground.program,
-        database,
-        list(ground.ground_rules),
-        {atom: circ.var(ids[atom]) for atom in ground.edb_atoms},
-        set(ground.derivable),
+    circuit_ground = ground.reannotate(
+        {atom: circ.var(ids[atom]) for atom in ground.edb_atoms}
     )
 
-    result = solve_ground(circuit_ground, circ, on_divergence=on_divergence)
+    solver = solve_ground_seminaive if engine == "seminaive" else solve_ground
+    result = solver(circuit_ground, circ, on_divergence=on_divergence)
     circuits = {
         atom: circuit
         for atom, circuit in result.annotations.items()
@@ -225,6 +227,7 @@ def datalog_provenance(
     truncation_degree: int = 6,
     edb_ids: Mapping[GroundAtom, str] | None = None,
     provenance: str = "series",
+    engine: str = "naive",
 ) -> DatalogProvenance | DatalogCircuitProvenance:
     """Compute the ``N-inf[[X]]`` provenance of a datalog query (Definition 6.1).
 
@@ -237,26 +240,42 @@ def datalog_provenance(
     ``"circuit"`` returns a :class:`DatalogCircuitProvenance` with
     hash-consed DAG annotations instead -- exact for every convergent atom
     and asymptotically smaller under deep fixpoints.
+
+    ``engine`` selects how the exact polynomial provenance of the convergent
+    atoms is computed: ``"naive"`` (default) uses All-Trees' memoized
+    recursion, ``"seminaive"`` solves the grounding re-annotated over
+    ``N[X]`` with :func:`repro.datalog.seminaive.solve_ground_seminaive`
+    (Theorem 5.6 guarantees the two coincide).  For ``provenance="circuit"``
+    the option is forwarded to :func:`datalog_circuit_provenance`.  The
+    truncated power series of the divergent atoms are engine-independent.
     """
     if provenance == "circuit":
-        return datalog_circuit_provenance(program, database, edb_ids=edb_ids)
+        return datalog_circuit_provenance(
+            program, database, edb_ids=edb_ids, engine=engine
+        )
     if provenance != "series":
         raise DatalogError(
             f"provenance must be 'series' or 'circuit', got {provenance!r}"
         )
+    from repro.datalog.fixpoint import _check_engine
+
+    _check_engine(engine)
     if isinstance(program, str):
         program = Program.parse(program)
     ground = ground_program(program, database)
     ids = dict(edb_ids) if edb_ids is not None else default_edb_ids(ground)
 
     report = classify_provenance(ground)
-    finite_result = all_trees(program, database, edb_ids=ids)
+    if engine == "seminaive":
+        polynomials, infinite_atoms = _seminaive_polynomials(ground, ids)
+    else:
+        finite_result = all_trees(program, database, edb_ids=ids)
+        polynomials = finite_result.polynomials
+        infinite_atoms = finite_result.infinite
 
     series: Dict[GroundAtom, FormalPowerSeries] = {}
-    for atom, polynomial in finite_result.polynomials.items():
+    for atom, polynomial in polynomials.items():
         series[atom] = FormalPowerSeries.from_polynomial(polynomial)
-
-    infinite_atoms = finite_result.infinite
     if infinite_atoms:
         truncated = _truncated_series_fixpoint(
             ground, ids, truncation_degree=truncation_degree
@@ -271,6 +290,33 @@ def datalog_provenance(
         classification=dict(report.classification),
         truncation_degree=truncation_degree,
     )
+
+
+def _seminaive_polynomials(
+    ground: GroundProgram,
+    ids: Mapping[GroundAtom, str],
+) -> tuple[Dict[GroundAtom, Polynomial], frozenset[GroundAtom]]:
+    """Exact ``N[X]`` provenance of the convergent atoms via the semi-naive solver.
+
+    Re-annotates the shared grounding with polynomial variables and solves it
+    with ``on_divergence="skip"``: the kept annotations are exactly All-Trees'
+    polynomials (the least fixpoint restricted to the acyclic sub-program is
+    the sum over derivation trees), and the skipped atoms are exactly the
+    atoms All-Trees classifies infinite.
+    """
+    from repro.datalog.seminaive import solve_ground_seminaive
+    from repro.semirings.polynomial import ProvenancePolynomialSemiring
+
+    missing = ground.edb_atoms - set(ids)
+    if missing:
+        raise DatalogError(f"edb_ids is missing ids for {len(missing)} EDB fact(s)")
+    polynomial_ground = ground.reannotate(
+        {atom: Polynomial.var(ids[atom]) for atom in ground.edb_atoms}
+    )
+    result = solve_ground_seminaive(
+        polynomial_ground, ProvenancePolynomialSemiring(), on_divergence="skip"
+    )
+    return result.annotations, result.divergent_atoms
 
 
 def _truncated_series_fixpoint(

@@ -1,0 +1,653 @@
+"""Semi-naive, delta-driven datalog evaluation (``engine="seminaive"``).
+
+The naive engine of :mod:`repro.datalog.fixpoint` first *grounds* the whole
+program (enumerating every rule instantiation from scratch in every round of
+a Boolean pre-fixpoint) and then Kleene-iterates the immediate-consequence
+operator over all ground rules until nothing changes.  Both steps redo work
+proportional to everything derived so far.  This module evaluates rules
+directly against :class:`~repro.relations.krelation.KRelation`s instead:
+
+* every rule is compiled once into a set of **join plans** -- one *seed*
+  plan for rules whose body is entirely extensional and one *delta variant*
+  per intensional body occurrence -- with a fixed greedy atom order and, for
+  each non-driver atom, the tuple of positions that are bound when the atom
+  is matched;
+* every predicate keeps **variable-binding hash indexes** on exactly the
+  position sets its plans probe; indexes are built once and maintained
+  incrementally as new tuples are derived, so they are reused across rounds;
+* each round fires only the plan variants whose **driver** is a delta atom
+  (a tuple whose annotation changed in the previous round), accumulating the
+  new contributions into the stored relations via
+  :meth:`~repro.relations.krelation.KRelation.merge_delta`.
+
+Exactness
+---------
+For semirings with **idempotent addition** the accumulated values form a
+monotone chain squeezed between the Kleene iterates and the least fixpoint,
+so the engine converges to exactly the annotations of Definition 5.1 --
+re-adding a contribution that was already absorbed is harmless when
+``a + a = a``.
+
+For **non-idempotent** semirings (``N``, ``N[X]``, circuits, power series)
+accumulation would double-count, and exact values exist only for atoms with
+finitely many derivation trees.  The engine therefore runs its delta-driven
+machinery once in *collect* mode over the Boolean support -- deriving every
+fact and recording every rule instantiation, which is the instantiation the
+naive engine computes far more expensively -- then reuses the existing
+cycle/finiteness analysis of :class:`~repro.datalog.grounding.GroundProgram`
+(``atoms_with_infinite_derivations``, exactly as the naive engine and
+All-Trees do) and evaluates the acyclic remainder in a **single topological
+pass**.  Divergent atoms are handled identically to the naive engine:
+``on_divergence="top"`` pins them to the semiring's top element (raising
+:class:`~repro.errors.DivergenceError` when there is none), ``"error"``
+always raises, and ``"skip"`` drops them while keeping the exact annotations
+of the convergent atoms.
+
+The result is a :class:`~repro.datalog.fixpoint.DatalogResult` that agrees
+annotation-for-annotation with the naive engine (the differential
+property-test suite in ``tests/datalog/test_seminaive_vs_naive.py`` checks
+this on randomized programs over every shipped semiring).  For idempotent
+semirings the result's ``ground`` carries the derivable atoms and EDB
+annotations but **no rule instantiations** -- never materializing them is
+where the speed comes from (see ``benchmarks/bench_seminaive.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.errors import DivergenceError
+from repro.datalog.fixpoint import (
+    DEFAULT_MAX_ITERATIONS,
+    DatalogResult,
+    classify_divergence,
+    immediate_consequence,
+)
+from repro.datalog.grounding import (
+    GroundAtom,
+    GroundProgram,
+    GroundRule,
+    collect_edb_annotations,
+)
+from repro.datalog.syntax import Program, Rule
+from repro.logic import Constant, Variable
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.relations.schema import Schema
+from repro.relations.tuples import Tup
+from repro.semirings.base import Semiring
+from repro.semirings.boolean import BooleanSemiring
+
+__all__ = ["evaluate_program_seminaive", "solve_ground_seminaive"]
+
+# Post-match opcodes: bind a slot / check against a slot / check a constant.
+_BIND, _CHECK_SLOT, _CHECK_CONST = 0, 1, 2
+
+
+class _AtomStep:
+    """Compiled matcher for one body atom at a fixed point of a join plan.
+
+    ``key_positions``/``key_parts`` describe the index probe (positions whose
+    value is already determined when the atom is reached: constants and
+    variables bound by earlier atoms); ``post`` lists what to do with the
+    remaining positions of a candidate tuple.  The driver atom of a plan has
+    an empty key -- it is iterated, not probed.
+    """
+
+    __slots__ = ("predicate", "orig_index", "key_positions", "key_parts", "post")
+
+    def __init__(
+        self,
+        predicate: str,
+        orig_index: int,
+        key_positions: Tuple[int, ...],
+        key_parts: Tuple[Tuple[bool, Any], ...],
+        post: Tuple[Tuple[int, int, Any], ...],
+    ):
+        self.predicate = predicate
+        self.orig_index = orig_index
+        self.key_positions = key_positions
+        self.key_parts = key_parts  # (is_slot, slot-or-constant) per key position
+        self.post = post  # (position, opcode, slot-or-constant)
+
+    def match(self, values: Sequence[Any], env: List[Any]) -> bool:
+        """Bind/check the non-key positions of a candidate tuple."""
+        for position, opcode, payload in self.post:
+            value = values[position]
+            if opcode == _BIND:
+                env[payload] = value
+            elif opcode == _CHECK_SLOT:
+                if env[payload] != value:
+                    return False
+            elif payload != value:
+                return False
+        return True
+
+
+class _Plan:
+    """A compiled evaluation order for one rule with a designated driver atom."""
+
+    __slots__ = ("rule_index", "driver", "steps", "head_relation", "head_parts", "n_slots", "body_predicates")
+
+    def __init__(
+        self,
+        rule_index: int,
+        driver: _AtomStep,
+        steps: Tuple[_AtomStep, ...],
+        head_relation: str,
+        head_parts: Tuple[Tuple[bool, Any], ...],
+        n_slots: int,
+        body_predicates: Tuple[str, ...],
+    ):
+        self.rule_index = rule_index
+        self.driver = driver
+        self.steps = steps  # non-driver atoms, in join order
+        self.head_relation = head_relation
+        self.head_parts = head_parts  # (is_slot, slot-or-constant) per head position
+        self.n_slots = n_slots
+        self.body_predicates = body_predicates  # original body order
+
+
+def _compile_plan(rule: Rule, rule_index: int, driver_index: int) -> _Plan:
+    """Compile ``rule`` with ``body[driver_index]`` as the iterated driver.
+
+    The remaining atoms are ordered greedily by how many of their positions
+    are determined (constants + already-bound variables) so index probes are
+    as selective as possible; the order, and with it every index key, is
+    fixed at compile time and reused for every round of every evaluation.
+    """
+    slots: Dict[str, int] = {}
+    for variable in sorted(rule.variables, key=lambda v: v.name):
+        slots[variable.name] = len(slots)
+
+    def build_step(index: int, bound: Set[str]) -> _AtomStep:
+        atom = rule.body[index]
+        key_positions: List[int] = []
+        key_parts: List[Tuple[bool, Any]] = []
+        post: List[Tuple[int, int, Any]] = []
+        seen_here: Set[str] = set()
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                key_positions.append(position)
+                key_parts.append((False, term.value))
+            elif term.name in bound:
+                key_positions.append(position)
+                key_parts.append((True, slots[term.name]))
+            elif term.name in seen_here:
+                post.append((position, _CHECK_SLOT, slots[term.name]))
+            else:
+                seen_here.add(term.name)
+                post.append((position, _BIND, slots[term.name]))
+        return _AtomStep(
+            atom.relation, index, tuple(key_positions), tuple(key_parts), tuple(post)
+        )
+
+    def build_driver(index: int) -> _AtomStep:
+        atom = rule.body[index]
+        post: List[Tuple[int, int, Any]] = []
+        seen_here: Set[str] = set()
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                post.append((position, _CHECK_CONST, term.value))
+            elif term.name in seen_here:
+                post.append((position, _CHECK_SLOT, slots[term.name]))
+            else:
+                seen_here.add(term.name)
+                post.append((position, _BIND, slots[term.name]))
+        return _AtomStep(atom.relation, index, (), (), tuple(post))
+
+    def determinable(index: int, bound: Set[str]) -> int:
+        return sum(
+            1
+            for term in rule.body[index].terms
+            if isinstance(term, Constant) or term.name in bound
+        )
+
+    driver = build_driver(driver_index)
+    bound = {v.name for v in rule.body[driver_index].variables}
+    remaining = [i for i in range(len(rule.body)) if i != driver_index]
+    steps: List[_AtomStep] = []
+    while remaining:
+        best = max(remaining, key=lambda i: (determinable(i, bound), -i))
+        remaining.remove(best)
+        steps.append(build_step(best, bound))
+        bound |= {v.name for v in rule.body[best].variables}
+
+    head_parts: List[Tuple[bool, Any]] = []
+    for term in rule.head.terms:
+        if isinstance(term, Constant):
+            head_parts.append((False, term.value))
+        else:
+            head_parts.append((True, slots[term.name]))
+
+    return _Plan(
+        rule_index,
+        driver,
+        tuple(steps),
+        rule.head.relation,
+        tuple(head_parts),
+        len(slots),
+        tuple(atom.relation for atom in rule.body),
+    )
+
+
+class _Store:
+    """A predicate's facts: the backing KRelation plus positional-row indexes.
+
+    ``rows`` caches each tuple's values in schema order; ``indexes`` maps a
+    tuple of positions to a hash index over those positions.  Indexes are
+    created once per (plan, atom) binding pattern and maintained
+    incrementally -- annotation updates never touch them, only genuinely new
+    tuples are inserted.
+    """
+
+    __slots__ = ("relation", "attributes", "rows", "indexes")
+
+    def __init__(self, relation: KRelation):
+        self.relation = relation
+        self.attributes = relation.schema.attributes
+        self.rows: List[Tuple[tuple, Tup]] = [
+            (tup.values_for(self.attributes), tup) for tup in relation
+        ]
+        self.indexes: Dict[Tuple[int, ...], Dict[tuple, list]] = {}
+
+    def ensure_index(self, positions: Tuple[int, ...]) -> None:
+        if positions in self.indexes:
+            return
+        index: Dict[tuple, list] = {}
+        for values, tup in self.rows:
+            key = tuple(values[p] for p in positions)
+            index.setdefault(key, []).append((values, tup))
+        self.indexes[positions] = index
+
+    def insert(self, values: tuple, tup: Tup) -> None:
+        self.rows.append((values, tup))
+        for positions, index in self.indexes.items():
+            key = tuple(values[p] for p in positions)
+            index.setdefault(key, []).append((values, tup))
+
+
+def _idb_schema(program: Program, database: Database, predicate: str) -> Schema:
+    """Schema for an IDB predicate's store (mirrors DatalogResult.relation)."""
+    if predicate in database:
+        return database.relation(predicate).schema
+    names = program.head_attributes(predicate)
+    return Schema(names or [f"c{i + 1}" for i in range(program.arity(predicate))])
+
+
+class _SemiNaiveEngine:
+    """The delta-driven evaluation loop shared by both annotation modes.
+
+    ``collect=False`` accumulates semiring annotations (exact for idempotent
+    addition); ``collect=True`` runs over the Boolean support and records
+    every fired rule instantiation, producing the grounded program the
+    non-idempotent solver feeds to the finiteness analysis.
+    """
+
+    def __init__(self, program: Program, database: Database, *, collect: bool):
+        self.program = program
+        self.database = database
+        self.collect = collect
+        self.semiring: Semiring = BooleanSemiring() if collect else database.semiring
+        self.edb_annotations = collect_edb_annotations(program, database)
+        self.instantiations: Set[Tuple[int, GroundAtom, Tuple[GroundAtom, ...]]] = set()
+
+        idb = program.idb_predicates
+        self.stores: Dict[str, _Store] = {}
+        for predicate in program.edb_predicates:
+            relation = database.relation(predicate)
+            if collect:
+                relation = relation.map_annotations(lambda _: True, self.semiring)
+            self.stores[predicate] = _Store(relation)
+        for predicate in idb:
+            schema = _idb_schema(program, database, predicate)
+            self.stores[predicate] = _Store(KRelation(self.semiring, schema))
+
+        self.seed_plans: List[_Plan] = []
+        self.delta_plans: Dict[str, List[_Plan]] = {predicate: [] for predicate in idb}
+        for rule_index, rule in enumerate(program.rules):
+            idb_positions = [
+                i for i, atom in enumerate(rule.body) if atom.relation in idb
+            ]
+            if not idb_positions:
+                # Choose the seed driver greedily too: most constants first.
+                driver = max(
+                    range(len(rule.body)),
+                    key=lambda i: (
+                        sum(isinstance(t, Constant) for t in rule.body[i].terms),
+                        -i,
+                    ),
+                )
+                self.seed_plans.append(_compile_plan(rule, rule_index, driver))
+            else:
+                for position in idb_positions:
+                    plan = _compile_plan(rule, rule_index, position)
+                    self.delta_plans[rule.body[position].relation].append(plan)
+        for plan in self.seed_plans + [p for ps in self.delta_plans.values() for p in ps]:
+            for step in plan.steps:
+                self.stores[step.predicate].ensure_index(step.key_positions)
+
+    # -- one plan, one batch of driver rows -----------------------------------
+    def _fire(self, plan: _Plan, driver_rows: Sequence[Tuple[tuple, Tup]], out) -> None:
+        semiring = self.semiring
+        mul = semiring.mul
+        stores = self.stores
+        steps = plan.steps
+        depth = len(steps)
+        env: List[Any] = [None] * plan.n_slots
+        collect = self.collect
+        body_values: List[tuple] = [()] * len(plan.body_predicates)
+        driver = plan.driver
+        driver_annotations = stores[driver.predicate].relation._annotations
+        head_parts = plan.head_parts
+        emit = out[plan.head_relation]
+
+        def descend(level: int, annotation: Any) -> None:
+            if level == depth:
+                head = tuple(
+                    env[payload] if is_slot else payload
+                    for is_slot, payload in head_parts
+                )
+                if collect:
+                    self.instantiations.add(
+                        (
+                            plan.rule_index,
+                            GroundAtom(plan.head_relation, head),
+                            tuple(
+                                GroundAtom(predicate, body_values[i])
+                                for i, predicate in enumerate(plan.body_predicates)
+                            ),
+                        )
+                    )
+                    emit[head] = True
+                else:
+                    current = emit.get(head)
+                    emit[head] = (
+                        annotation
+                        if current is None
+                        else semiring.add(current, annotation)
+                    )
+                return
+            step = steps[level]
+            store = stores[step.predicate]
+            key = tuple(
+                env[payload] if is_slot else payload
+                for is_slot, payload in step.key_parts
+            )
+            bucket = store.indexes[step.key_positions].get(key)
+            if not bucket:
+                return
+            annotations = store.relation._annotations
+            for values, tup in bucket:
+                if step.match(values, env):
+                    if collect:
+                        body_values[step.orig_index] = values
+                        descend(level + 1, annotation)
+                    else:
+                        descend(level + 1, mul(annotation, annotations[tup]))
+
+        for values, tup in driver_rows:
+            if driver.match(values, env):
+                if collect:
+                    body_values[driver.orig_index] = values
+                    descend(0, True)
+                else:
+                    descend(0, driver_annotations[tup])
+
+    # -- the delta loop ---------------------------------------------------------
+    def run(self, max_iterations: int) -> int:
+        """Seed, then fire delta variants until a round changes nothing.
+
+        Returns the number of rounds executed (the seed round counts, and so
+        does the final round that merges an empty delta).
+        """
+        idb = self.program.idb_predicates
+        fresh = lambda: {predicate: {} for predicate in idb}
+
+        out = fresh()
+        for plan in self.seed_plans:
+            self._fire(plan, self.stores[plan.driver.predicate].rows, out)
+        delta = self._merge(out)
+        iterations = 1
+
+        while any(delta.values()):
+            if iterations >= max_iterations:
+                raise DivergenceError(
+                    f"datalog evaluation over {self.database.semiring.name} did not "
+                    f"converge within {max_iterations} iterations"
+                )
+            iterations += 1
+            out = fresh()
+            for predicate, rows in delta.items():
+                if not rows:
+                    continue
+                for plan in self.delta_plans[predicate]:
+                    self._fire(plan, rows, out)
+            delta = self._merge(out)
+        return iterations
+
+    def _merge(self, out: Dict[str, Dict[tuple, Any]]) -> Dict[str, List[Tuple[tuple, Tup]]]:
+        """Accumulate a round's contributions; return the delta rows per predicate."""
+        delta: Dict[str, List[Tuple[tuple, Tup]]] = {}
+        for predicate, contributions in out.items():
+            store = self.stores[predicate]
+            if not contributions:
+                delta[predicate] = []
+                continue
+            relation = store.relation
+            attributes = store.attributes
+            by_tup = {
+                Tup.from_values(attributes, values): values
+                for values in contributions
+            }
+            known = relation._annotations
+            new_tuples = {tup for tup in by_tup if tup not in known}
+            changed = relation.merge_delta(
+                (tup, contributions[by_tup[tup]]) for tup in by_tup
+            )
+            rows: List[Tuple[tuple, Tup]] = []
+            for tup in changed:
+                values = by_tup[tup]
+                if tup in new_tuples:
+                    store.insert(values, tup)
+                rows.append((values, tup))
+            delta[predicate] = rows
+        return delta
+
+    # -- results ----------------------------------------------------------------
+    def derivable_atoms(self) -> Set[GroundAtom]:
+        known = set(self.edb_annotations)
+        for predicate in self.program.idb_predicates:
+            for values, _ in self.stores[predicate].rows:
+                known.add(GroundAtom(predicate, values))
+        return known
+
+    def annotations(self) -> Dict[GroundAtom, Any]:
+        values: Dict[GroundAtom, Any] = {}
+        for predicate in self.program.idb_predicates:
+            store = self.stores[predicate]
+            annotations = store.relation._annotations
+            for row_values, tup in store.rows:
+                values[GroundAtom(predicate, row_values)] = annotations[tup]
+        return values
+
+    def ground_program(self) -> GroundProgram:
+        """The instantiation recorded by a collect-mode run.
+
+        Equivalent to :func:`repro.datalog.grounding.ground_program` -- every
+        instantiation is fired at least once by the variant driven by its
+        last-derived body atom -- but computed by indexed semi-naive joins
+        instead of re-enumerating all matches in every Boolean round.
+        """
+        rules = [
+            GroundRule(head, body, rule_index)
+            for rule_index, head, body in sorted(
+                self.instantiations,
+                key=lambda entry: (
+                    entry[0],
+                    entry[1].relation,
+                    tuple(map(str, entry[1].values)),
+                    tuple(str(atom) for atom in entry[2]),
+                ),
+            )
+        ]
+        return GroundProgram(
+            self.program,
+            self.database,
+            rules,
+            self.edb_annotations,
+            self.derivable_atoms(),
+        )
+
+
+def evaluate_program_seminaive(
+    program: Program | str,
+    database: Database,
+    *,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    on_divergence: str = "top",
+) -> DatalogResult:
+    """Semi-naive counterpart of :func:`repro.datalog.fixpoint.evaluate_program`.
+
+    Same contract and same results; see the module docstring for how the two
+    semiring regimes are handled.  Callers normally reach this through
+    ``evaluate_program(..., engine="seminaive")``.
+    """
+    if on_divergence not in ("top", "error", "skip"):
+        raise ValueError(
+            f"on_divergence must be 'top', 'error' or 'skip', got {on_divergence!r}"
+        )
+    if isinstance(program, str):
+        program = Program.parse(program)
+    semiring = database.semiring
+
+    if semiring.idempotent_add:
+        engine = _SemiNaiveEngine(program, database, collect=False)
+        iterations = engine.run(max_iterations)
+        # The grounded instantiation was never materialized -- that is the
+        # point -- so the result's ``ground`` carries no rule list.
+        ground = GroundProgram(
+            program,
+            database,
+            [],
+            engine.edb_annotations,
+            engine.derivable_atoms(),
+        )
+        return DatalogResult(
+            annotations=engine.annotations(),
+            iterations=iterations,
+            divergent_atoms=frozenset(),
+            ground=ground,
+        )
+
+    engine = _SemiNaiveEngine(program, database, collect=True)
+    # The Boolean support fixpoint always terminates (finitely many ground
+    # atoms), so the caller's iteration budget -- meant for the value
+    # iteration -- does not apply here, matching the naive engine whose
+    # grounding pre-pass is equally uncapped.
+    engine.run(max(max_iterations, DEFAULT_MAX_ITERATIONS))
+    ground = engine.ground_program()
+    return solve_ground_seminaive(
+        ground,
+        semiring,
+        max_iterations=max_iterations,
+        on_divergence=on_divergence,
+    )
+
+
+def solve_ground_seminaive(
+    ground: GroundProgram,
+    semiring: Semiring,
+    *,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    on_divergence: str = "top",
+) -> DatalogResult:
+    """Semi-naive solver for an already-grounded program.
+
+    The counterpart of :func:`repro.datalog.fixpoint.solve_ground`, used by
+    the provenance paths (which re-annotate a shared grounding with circuit
+    or polynomial variables).  Non-idempotent semirings are solved by one
+    topological pass over the convergent (acyclic) atoms after the usual
+    divergence analysis; idempotent semirings by rounds of a dependency-aware
+    worklist that only recomputes atoms whose rule bodies changed.
+    """
+    divergent, finite = classify_divergence(ground, semiring, on_divergence)
+    zero = semiring.zero()
+
+    def recompute(atom: GroundAtom, values: Dict[GroundAtom, Any]) -> Any:
+        # One application of T_q restricted to a single atom -- the same
+        # operator (and code) the naive engine iterates over all atoms.
+        return immediate_consequence(ground, semiring, values, atoms=(atom,))[atom]
+
+    values: Dict[GroundAtom, Any] = {}
+    if divergent and on_divergence == "top":
+        top = semiring.top()
+        for atom in divergent:
+            values[atom] = top
+
+    if not semiring.idempotent_add:
+        # One pass in dependency order: every rule body of a convergent atom
+        # only mentions EDB facts and convergent atoms evaluated earlier.
+        for atom in _topological_order(ground, finite):
+            values[atom] = recompute(atom, values)
+        iterations = 1
+    else:
+        values.update({atom: zero for atom in finite})
+        dependents: Dict[GroundAtom, Set[GroundAtom]] = {}
+        for rule in ground.ground_rules:
+            for body_atom in rule.body:
+                if body_atom in finite:
+                    dependents.setdefault(body_atom, set()).add(rule.head)
+        dirty: Set[GroundAtom] = set(finite)
+        iterations = 0
+        while dirty:
+            if iterations >= max_iterations:
+                raise DivergenceError(
+                    f"datalog evaluation over {semiring.name} did not converge within "
+                    f"{max_iterations} iterations"
+                )
+            iterations += 1
+            next_dirty: Set[GroundAtom] = set()
+            for atom in dirty:
+                updated = recompute(atom, values)
+                if updated != values[atom]:
+                    values[atom] = updated
+                    next_dirty |= dependents.get(atom, set())
+            dirty = next_dirty & finite
+
+    return DatalogResult(
+        annotations=values,
+        iterations=iterations,
+        divergent_atoms=divergent,
+        ground=ground,
+    )
+
+
+def _topological_order(
+    ground: GroundProgram, finite: Set[GroundAtom]
+) -> List[GroundAtom]:
+    """Kahn order of the finite IDB atoms under the grounded dependency graph."""
+    dependents: Dict[GroundAtom, List[GroundAtom]] = {}
+    in_degree: Dict[GroundAtom, int] = {atom: 0 for atom in finite}
+    for atom in finite:
+        seen: Set[GroundAtom] = set()
+        for rule in ground.rules_with_head(atom):
+            for body_atom in rule.body:
+                if body_atom in finite and body_atom not in seen:
+                    seen.add(body_atom)
+                    dependents.setdefault(body_atom, []).append(atom)
+                    in_degree[atom] += 1
+    queue = [atom for atom, degree in in_degree.items() if degree == 0]
+    order: List[GroundAtom] = []
+    while queue:
+        atom = queue.pop()
+        order.append(atom)
+        for dependent in dependents.get(atom, ()):
+            in_degree[dependent] -= 1
+            if in_degree[dependent] == 0:
+                queue.append(dependent)
+    if len(order) != len(finite):  # pragma: no cover - guarded by divergence analysis
+        raise DivergenceError(
+            "internal error: cycle among atoms classified as convergent"
+        )
+    return order

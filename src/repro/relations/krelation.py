@@ -152,6 +152,35 @@ class KRelation:
         else:
             self._annotations[tup] = value
 
+    def merge_delta(self, updates: Iterable[Tuple[Tup, Any]]) -> "KRelation":
+        """Accumulate ``updates`` into the relation and return the *delta*.
+
+        Each ``(tup, value)`` pair is added (semiring ``+``) into the current
+        annotation of ``tup``.  The returned relation holds exactly the tuples
+        whose annotation changed, mapped to their **new** annotations -- the
+        delta a semi-naive fixpoint round must re-fire on.  Tuples whose
+        annotation is unchanged (e.g. idempotent re-derivations) are absent
+        from the delta, so a fixpoint driver can stop as soon as a merge
+        returns an empty relation.
+
+        Like :meth:`_accumulate` this is a fast path: ``tup`` must be a
+        canonical :class:`Tup` over this schema and ``value`` a carrier
+        element (both hold inside the datalog engines, where every value
+        comes out of this semiring's own operations).
+        """
+        semiring = self.semiring
+        annotations = self._annotations
+        delta = self.empty_like()
+        for tup, value in updates:
+            current = annotations.get(tup)
+            combined = value if current is None else semiring.add(current, value)
+            if current is None and semiring.is_zero(combined):
+                continue
+            if combined != current:
+                annotations[tup] = combined
+                delta._annotations[tup] = combined
+        return delta
+
     def discard(self, row: RowLike) -> None:
         """Remove a tuple from the support (set its annotation to zero)."""
         tup = self._coerce_tuple(row)

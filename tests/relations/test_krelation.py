@@ -109,6 +109,34 @@ class TestTransformations:
         assert not large.contained_in(small)
 
 
+class TestMergeDelta:
+    def test_new_and_changed_tuples_form_the_delta(self):
+        bag = NaturalsSemiring()
+        relation = KRelation(bag, ["a"], [(("x",), 2)])
+        delta = relation.merge_delta(
+            [(Tup(a="x"), 3), (Tup(a="y"), 1), (Tup(a="z"), 0)]
+        )
+        assert relation.annotation(("x",)) == 5
+        assert relation.annotation(("y",)) == 1
+        assert ("z",) not in relation
+        assert dict(delta.items()) == {Tup(a="x"): 5, Tup(a="y"): 1}
+
+    def test_idempotent_readds_produce_empty_delta(self):
+        boolean = BooleanSemiring()
+        relation = KRelation(boolean, ["a"], [("x",)])
+        delta = relation.merge_delta([(Tup(a="x"), True)])
+        assert len(delta) == 0
+        assert relation.annotation(("x",)) is True
+
+    def test_delta_carries_the_new_annotation(self):
+        nx = ProvenancePolynomialSemiring()
+        relation = KRelation(nx, ["a"], [(("x",), Polynomial.var("p"))])
+        delta = relation.merge_delta([(Tup(a="x"), Polynomial.var("r"))])
+        combined = Polynomial.var("p") + Polynomial.var("r")
+        assert relation.annotation(("x",)) == combined
+        assert delta.annotation(("x",)) == combined
+
+
 class TestDatabase:
     def test_register_requires_matching_semiring(self):
         db = Database(NaturalsSemiring())

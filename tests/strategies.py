@@ -1,0 +1,179 @@
+"""Reusable Hypothesis strategies for randomized datalog testing.
+
+The differential suite (``tests/datalog/test_seminaive_vs_naive.py``) needs
+random but *well-formed* inputs: safe datalog programs whose body predicates
+are either defined by some rule or backed by an EDB relation, databases whose
+relations match the program's arities, and annotations drawn from whichever
+semiring is under test.  These strategies produce exactly that, are fully
+shrinkable (every choice is a plain Hypothesis draw), and deterministic under
+``derandomize=True`` settings.
+
+Conventions
+-----------
+* EDB predicates come from ``EDB_PREDICATES``, IDB predicates from
+  ``IDB_PREDICATES``; arities are drawn once per program and shared with the
+  database strategy through :meth:`Program.arity`.
+* Abstract-tagging semirings (``PosBool``, ``N[X]``, circuits) get a fresh
+  variable per EDB tuple (``t1, t2, ...``), the same convention the
+  provenance machinery uses.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.datalog import Program, Rule
+from repro.logic import Atom, Constant, Variable
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.semirings import Polynomial, get_semiring
+from repro.semirings.base import Semiring
+from repro.semirings.numeric import INFINITY, NatInf
+from repro.semirings.posbool import BoolExpr
+
+__all__ = [
+    "EDB_PREDICATES",
+    "IDB_PREDICATES",
+    "DOMAIN",
+    "REGISTRY_SEMIRING_NAMES",
+    "annotation_for",
+    "programs",
+    "edb_databases",
+    "programs_with_databases",
+]
+
+EDB_PREDICATES = ("R", "S")
+IDB_PREDICATES = ("Q", "P")
+DOMAIN = ("a", "b", "c", "d")
+VARIABLE_NAMES = ("x", "y", "z", "w")
+
+#: Registry names of the semirings the differential suite runs over.
+REGISTRY_SEMIRING_NAMES = ("bag", "bool", "tropical", "posbool", "nx", "circuit")
+
+
+def annotation_for(semiring: Semiring, index: int, draw) -> object:
+    """A random non-zero annotation for ``semiring``.
+
+    ``index`` is a unique per-tuple counter; abstract-tagging semirings use
+    it to mint a fresh variable per tuple, everything else draws from a small
+    pool of representative elements.
+    """
+    name = semiring.name
+    if name == "B":
+        return True
+    if name == "N":
+        return draw(st.integers(min_value=1, max_value=4))
+    if name == "N∞":
+        return draw(
+            st.sampled_from([NatInf(1), NatInf(2), NatInf(3), INFINITY])
+        )
+    if name == "Tropical":
+        return draw(st.sampled_from([0.0, 1.0, 2.0, 3.5, 7.0]))
+    if name in ("Fuzzy", "Viterbi"):
+        return draw(st.sampled_from([0.125, 0.25, 0.5, 1.0]))
+    if name.startswith("PosBool"):
+        return BoolExpr.var(f"t{index}")
+    if name.startswith("Why"):
+        return frozenset({f"t{index}"})
+    if name in ("N[X]", "N∞[X]"):
+        return Polynomial.var(f"t{index}")
+    if name == "Circ[X]":
+        return semiring.var(f"t{index}")
+    return semiring.one()
+
+
+@st.composite
+def _terms(draw, arity: int, variable_pool: tuple[str, ...]):
+    """``arity`` terms, biased toward variables (constants keep plans honest)."""
+    terms = []
+    for _ in range(arity):
+        if draw(st.integers(min_value=0, max_value=9)) < 8:
+            terms.append(Variable(draw(st.sampled_from(variable_pool))))
+        else:
+            terms.append(Constant(draw(st.sampled_from(DOMAIN))))
+    return tuple(terms)
+
+
+@st.composite
+def _rule(draw, head_predicate: str, arities: dict, body_pool: tuple[str, ...]):
+    body_size = draw(st.integers(min_value=1, max_value=3))
+    body = []
+    for _ in range(body_size):
+        predicate = draw(st.sampled_from(body_pool))
+        body.append(Atom(predicate, draw(_terms(arities[predicate], VARIABLE_NAMES))))
+    body_variables = sorted(
+        {v.name for atom in body for v in atom.variables}
+    )
+    head_terms = []
+    for _ in range(arities[head_predicate]):
+        if body_variables and draw(st.booleans()):
+            head_terms.append(Variable(draw(st.sampled_from(body_variables))))
+        elif body_variables:
+            # Bias toward variables but allow head constants occasionally.
+            if draw(st.integers(min_value=0, max_value=4)) == 0:
+                head_terms.append(Constant(draw(st.sampled_from(DOMAIN))))
+            else:
+                head_terms.append(Variable(draw(st.sampled_from(body_variables))))
+        else:
+            head_terms.append(Constant(draw(st.sampled_from(DOMAIN))))
+    return Rule(Atom(head_predicate, head_terms), body)
+
+
+@st.composite
+def programs(draw) -> Program:
+    """A random safe datalog program (possibly recursive, possibly cyclic).
+
+    Every IDB predicate in use is defined by at least one rule and every
+    body-only predicate comes from ``EDB_PREDICATES``, so the program always
+    validates and grounds.
+    """
+    idb_count = draw(st.integers(min_value=1, max_value=2))
+    idb = IDB_PREDICATES[:idb_count]
+    arities = {
+        predicate: draw(st.integers(min_value=1, max_value=2))
+        for predicate in EDB_PREDICATES + idb
+    }
+    body_pool = EDB_PREDICATES + idb
+    rules = [draw(_rule(predicate, arities, body_pool)) for predicate in idb]
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        head = draw(st.sampled_from(idb))
+        rules.append(draw(_rule(head, arities, body_pool)))
+    return Program(rules, output=idb[0])
+
+
+@st.composite
+def edb_databases(draw, program: Program, semiring: Semiring) -> Database:
+    """A random database providing every EDB relation ``program`` reads.
+
+    Relation sizes are small (0-6 tuples over a 4-value domain) so that even
+    quadratic recursive rules stay comfortably testable; annotations come
+    from :func:`annotation_for`.
+    """
+    database = Database(semiring)
+    index = 0
+    for predicate in sorted(program.edb_predicates):
+        arity = program.arity(predicate)
+        relation = KRelation(semiring, [f"c{i + 1}" for i in range(arity)])
+        tuple_count = draw(st.integers(min_value=0, max_value=6))
+        rows = draw(
+            st.lists(
+                st.tuples(*([st.sampled_from(DOMAIN)] * arity)),
+                min_size=tuple_count,
+                max_size=tuple_count,
+                unique=True,
+            )
+        )
+        for values in rows:
+            index += 1
+            relation.set(values, annotation_for(semiring, index, draw))
+        database.register(predicate, relation)
+    return database
+
+
+@st.composite
+def programs_with_databases(draw, semiring_name: str):
+    """A (program, database) pair over the named registry semiring."""
+    semiring = get_semiring(semiring_name)
+    program = draw(programs())
+    database = draw(edb_databases(program, semiring))
+    return program, database
