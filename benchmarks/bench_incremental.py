@@ -1,0 +1,184 @@
+"""S5: incremental view maintenance vs full recomputation.
+
+Replays random update streams against materialized positive-algebra views
+(:class:`repro.incremental.MaterializedView`) and an incrementally
+maintained datalog fixpoint (:class:`repro.incremental.IncrementalDatalog`),
+timing the maintained path against recomputing the result from scratch after
+every batch.  Every instance cross-checks the two paths tuple-for-tuple, so
+the benchmark doubles as an end-to-end differential test; the acceptance bar
+is a >= 5x incremental win on the largest update-stream instance.
+
+Runs standalone (CI smoke): ``PYTHONPATH=src python benchmarks/bench_incremental.py``
+or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_incremental.py``.
+"""
+
+import time
+
+from conftest import report
+
+from repro.algebra.ast import Q
+from repro.datalog import evaluate_program
+from repro.incremental import IncrementalDatalog, MaterializedView, apply_batch_to_database
+from repro.semirings import IntegerRing, NaturalsSemiring, TropicalSemiring
+from repro.workloads import (
+    random_edge_insert_stream,
+    random_graph_database,
+    random_update_stream,
+    star_join_database,
+    transitive_closure_program,
+)
+
+#: The RA instance series: (semiring, fact tuples, batches, deletes per batch).
+#: Deletions ride along only on the ring instance (Z), where they propagate
+#: incrementally; the last entry is "the largest update-stream instance" the
+#: acceptance criterion refers to.
+RA_INSTANCES = [
+    (NaturalsSemiring(), 400, 10, 0),
+    (IntegerRing(), 800, 12, 2),
+    (TropicalSemiring(), 1500, 15, 0),
+    (NaturalsSemiring(), 4000, 25, 0),
+]
+
+SEED = 5
+
+#: The star-schema comparison view: F ⋈ D1 ⋈ D2 projected on (a, x, y).
+VIEW_QUERY = (
+    Q.relation("F").join(Q.relation("D1")).join(Q.relation("D2")).project("a", "x", "y")
+)
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    result = thunk()
+    return result, time.perf_counter() - start
+
+
+def _ra_record(semiring, fact_tuples, batches, deletes_per_batch):
+    database = star_join_database(
+        semiring,
+        fact_tuples=fact_tuples,
+        dimension_tuples=max(20, fact_tuples // 50),
+        domain_size=max(15, fact_tuples // 20),
+        seed=SEED,
+    )
+    shadow = database.copy()
+    stream = random_update_stream(
+        database,
+        batches=batches,
+        inserts_per_batch=4,
+        deletes_per_batch=deletes_per_batch,
+        domain_size=max(15, fact_tuples // 20),
+        seed=SEED + 1,
+        relation_names=["F"],
+    )
+
+    view, build_time = _timed(lambda: MaterializedView(VIEW_QUERY, database))
+    incremental_time = 0.0
+    recompute_time = 0.0
+    recomputed = None
+    for batch in stream:
+        _, elapsed = _timed(lambda: view.apply(batch))
+        incremental_time += elapsed
+
+        def full():
+            apply_batch_to_database(shadow, batch)
+            return VIEW_QUERY.evaluate(shadow)
+
+        recomputed, elapsed = _timed(full)
+        recompute_time += elapsed
+    assert recomputed is not None and view.relation.equal_to(recomputed), (
+        f"incremental view diverged from recompute ({semiring.name}, "
+        f"fact_tuples={fact_tuples})"
+    )
+    return {
+        "tag": (
+            f"star view on {semiring.name} (F={fact_tuples}, "
+            f"{len(stream)} batches, {deletes_per_batch} deletes/batch)"
+        ),
+        "build_time": build_time,
+        "incremental_time": incremental_time,
+        "recompute_time": recompute_time,
+        "view_tuples": len(view.relation),
+    }
+
+
+def _datalog_record(semiring, nodes, batches):
+    database = random_graph_database(
+        semiring, nodes=nodes, edge_probability=0.12, seed=SEED
+    )
+    program = transitive_closure_program()
+    stream = random_edge_insert_stream(
+        semiring, nodes=nodes, batches=batches, edges_per_batch=2, seed=SEED + 2
+    )
+
+    maintained, build_time = _timed(lambda: IncrementalDatalog(program, database))
+    incremental_time = 0.0
+    recompute_time = 0.0
+    fresh = None
+    for batch in stream:
+        _, elapsed = _timed(lambda: maintained.insert("R", batch))
+        incremental_time += elapsed
+        fresh, elapsed = _timed(
+            lambda: evaluate_program(program, database, engine="seminaive")
+        )
+        recompute_time += elapsed
+    assert fresh is not None and maintained.result.annotations == fresh.annotations, (
+        f"incremental datalog diverged from fresh evaluation ({semiring.name})"
+    )
+    return {
+        "tag": f"TC maintenance on {semiring.name} (nodes={nodes}, {batches} batches)",
+        "build_time": build_time,
+        "incremental_time": incremental_time,
+        "recompute_time": recompute_time,
+        "view_tuples": len(maintained.result.annotations),
+    }
+
+
+def _speedup(record):
+    return record["recompute_time"] / max(record["incremental_time"], 1e-9)
+
+
+def _lines(record):
+    return [
+        f"{record['tag']}: {record['view_tuples']} maintained tuples",
+        f"  initial build {record['build_time'] * 1e3:8.1f} ms",
+        f"  recompute     {record['recompute_time'] * 1e3:8.1f} ms over the stream",
+        f"  incremental   {record['incremental_time'] * 1e3:8.1f} ms over the stream"
+        f"  ({_speedup(record):.1f}x faster)",
+    ]
+
+
+def test_incremental_matches_recompute_across_series():
+    lines = []
+    for semiring, fact_tuples, batches, deletes in RA_INSTANCES[:-1]:
+        lines.extend(_lines(_ra_record(semiring, fact_tuples, batches, deletes)))
+    lines.extend(_lines(_datalog_record(TropicalSemiring(), 24, 8)))
+    report("S5: incremental maintenance vs recompute (series)", lines)
+
+
+def test_incremental_beats_recompute_on_largest_instance():
+    semiring, fact_tuples, batches, deletes = RA_INSTANCES[-1]
+    record = _ra_record(semiring, fact_tuples, batches, deletes)
+    report("S5: incremental vs recompute (largest update-stream instance)", _lines(record))
+    assert _speedup(record) >= 5.0, (
+        f"expected a >=5x incremental win on the largest update-stream "
+        f"instance, got {_speedup(record):.2f}x"
+    )
+
+
+def main() -> None:
+    records = [
+        _ra_record(semiring, fact_tuples, batches, deletes)
+        for semiring, fact_tuples, batches, deletes in RA_INSTANCES
+    ]
+    records.append(_datalog_record(TropicalSemiring(), 24, 8))
+    for record in records:
+        for line in _lines(record):
+            print(line)
+    largest = records[len(RA_INSTANCES) - 1]
+    print(f"\nlargest-instance incremental win: {_speedup(largest):.1f}x (need >= 5x)")
+    assert _speedup(largest) >= 5.0
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ setup(
         "test": [
             "pytest>=7.0",
             "pytest-benchmark>=4.0",
+            "pytest-cov>=4.0",
             "hypothesis>=6.80",
         ],
     },

@@ -67,6 +67,8 @@ from repro.semirings import (
     EventSpace,
     FormalPowerSeries,
     FuzzySemiring,
+    IntegerPolynomialRing,
+    IntegerRing,
     Monomial,
     NatInf,
     NaturalsSemiring,
@@ -82,6 +84,7 @@ from repro.semirings import (
     ViterbiSemiring,
     WhyProvenanceSemiring,
     WitnessWhySemiring,
+    ZPolynomial,
     available_semirings,
     get_semiring,
     polynomial_evaluation,
@@ -116,6 +119,15 @@ from repro.datalog import (
     datalog_circuit_provenance,
     datalog_provenance,
     evaluate_program,
+)
+from repro.incremental import (
+    IncrementalDatalog,
+    MaterializedView,
+    UpdateBatch,
+    apply_batch_to_database,
+    apply_delta,
+    batch_deltas,
+    view_delta,
 )
 
 __version__ = "1.0.0"
@@ -157,6 +169,9 @@ __all__ = [
     "WitnessWhySemiring",
     "EventSemiring",
     "EventSpace",
+    "IntegerRing",
+    "IntegerPolynomialRing",
+    "ZPolynomial",
     "Monomial",
     "Polynomial",
     "PolynomialSemiring",
@@ -186,6 +201,14 @@ __all__ = [
     "DatalogCircuitProvenance",
     "datalog_provenance",
     "datalog_circuit_provenance",
+    # incremental
+    "UpdateBatch",
+    "MaterializedView",
+    "IncrementalDatalog",
+    "view_delta",
+    "apply_delta",
+    "batch_deltas",
+    "apply_batch_to_database",
     # algebra
     "Q",
     "Query",

@@ -56,7 +56,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence, Set, Tuple
 
-from repro.errors import DivergenceError
+from repro.errors import DatalogError, DivergenceError
 from repro.datalog.fixpoint import (
     DEFAULT_MAX_ITERATIONS,
     DatalogResult,
@@ -284,10 +284,18 @@ class _SemiNaiveEngine:
     non-idempotent solver feeds to the finiteness analysis.
     """
 
-    def __init__(self, program: Program, database: Database, *, collect: bool):
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        *,
+        collect: bool,
+        maintain_edb: bool = False,
+    ):
         self.program = program
         self.database = database
         self.collect = collect
+        self.maintain_edb = maintain_edb
         self.semiring: Semiring = BooleanSemiring() if collect else database.semiring
         self.edb_annotations = collect_edb_annotations(program, database)
         self.instantiations: Set[Tuple[int, GroundAtom, Tuple[GroundAtom, ...]]] = set()
@@ -303,8 +311,15 @@ class _SemiNaiveEngine:
             schema = _idb_schema(program, database, predicate)
             self.stores[predicate] = _Store(KRelation(self.semiring, schema))
 
+        # With ``maintain_edb`` the engine additionally compiles a delta
+        # variant per EDB body occurrence, so an EDB insertion can later be
+        # treated exactly like a derived delta: fire only the plans driven by
+        # the changed predicate and resume the loop from the maintained
+        # stores and indexes (see repro.incremental.datalog).
         self.seed_plans: List[_Plan] = []
-        self.delta_plans: Dict[str, List[_Plan]] = {predicate: [] for predicate in idb}
+        self.delta_plans: Dict[str, List[_Plan]] = {
+            predicate: [] for predicate in (program.predicates if maintain_edb else idb)
+        }
         for rule_index, rule in enumerate(program.rules):
             idb_positions = [
                 i for i, atom in enumerate(rule.body) if atom.relation in idb
@@ -319,10 +334,14 @@ class _SemiNaiveEngine:
                     ),
                 )
                 self.seed_plans.append(_compile_plan(rule, rule_index, driver))
+                delta_positions = range(len(rule.body)) if maintain_edb else ()
             else:
-                for position in idb_positions:
-                    plan = _compile_plan(rule, rule_index, position)
-                    self.delta_plans[rule.body[position].relation].append(plan)
+                delta_positions = (
+                    range(len(rule.body)) if maintain_edb else idb_positions
+                )
+            for position in delta_positions:
+                plan = _compile_plan(rule, rule_index, position)
+                self.delta_plans[rule.body[position].relation].append(plan)
         for plan in self.seed_plans + [p for ps in self.delta_plans.values() for p in ps]:
             for step in plan.steps:
                 self.stores[step.predicate].ensure_index(step.key_positions)
@@ -401,15 +420,23 @@ class _SemiNaiveEngine:
         Returns the number of rounds executed (the seed round counts, and so
         does the final round that merges an empty delta).
         """
-        idb = self.program.idb_predicates
-        fresh = lambda: {predicate: {} for predicate in idb}
-
-        out = fresh()
+        out = self._fresh()
         for plan in self.seed_plans:
             self._fire(plan, self.stores[plan.driver.predicate].rows, out)
         delta = self._merge(out)
-        iterations = 1
+        return self._drain(delta, max_iterations, iterations=1)
 
+    def _fresh(self) -> Dict[str, Dict[tuple, Any]]:
+        return {predicate: {} for predicate in self.program.idb_predicates}
+
+    def _drain(
+        self,
+        delta: Dict[str, List[Tuple[tuple, Tup]]],
+        max_iterations: int,
+        *,
+        iterations: int,
+    ) -> int:
+        """Fire delta variants until a round changes nothing; return the round count."""
         while any(delta.values()):
             if iterations >= max_iterations:
                 raise DivergenceError(
@@ -417,7 +444,7 @@ class _SemiNaiveEngine:
                     f"converge within {max_iterations} iterations"
                 )
             iterations += 1
-            out = fresh()
+            out = self._fresh()
             for predicate, rows in delta.items():
                 if not rows:
                     continue
@@ -425,6 +452,48 @@ class _SemiNaiveEngine:
                     self._fire(plan, rows, out)
             delta = self._merge(out)
         return iterations
+
+    def apply_edb_delta(
+        self,
+        predicate: str,
+        updates: List[Tuple[Tup, Any]],
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ) -> int:
+        """Merge EDB ``updates`` and resume the fixpoint from the stored state.
+
+        ``updates`` are canonical ``(tup, value)`` pairs over ``predicate``'s
+        schema; values combine into the stored annotations with the
+        semiring's ``+`` (in collect mode the value is ignored -- support is
+        all that matters).  Only the plans driven by the changed predicate
+        fire, against the incrementally maintained stores and indexes, then
+        the ordinary delta loop drains the consequences.  Requires
+        ``maintain_edb=True``; returns the number of rounds executed.
+        """
+        if not self.maintain_edb:
+            raise DatalogError(
+                "engine was built without maintain_edb=True; "
+                "EDB deltas cannot be applied incrementally"
+            )
+        store = self.stores[predicate]
+        relation = store.relation
+        if self.collect:
+            updates = [(tup, True) for tup, _ in updates]
+        known = relation._annotations
+        new_tuples = {tup for tup, _ in updates if tup not in known}
+        changed = relation.merge_delta(updates)
+        rows: List[Tuple[tuple, Tup]] = []
+        for tup in changed:
+            values = tup.values_for(store.attributes)
+            if tup in new_tuples:
+                store.insert(values, tup)
+            rows.append((values, tup))
+        if not rows:
+            return 0
+        out = self._fresh()
+        for plan in self.delta_plans.get(predicate, ()):
+            self._fire(plan, rows, out)
+        delta = self._merge(out)
+        return self._drain(delta, max_iterations, iterations=1)
 
     def _merge(self, out: Dict[str, Dict[tuple, Any]]) -> Dict[str, List[Tuple[tuple, Tup]]]:
         """Accumulate a round's contributions; return the delta rows per predicate."""

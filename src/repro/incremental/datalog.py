@@ -1,0 +1,223 @@
+"""Incremental datalog: maintaining a fixpoint under EDB update streams.
+
+Datalog annotations are monotone in the EDB under the semiring's natural
+order, so *insertions* (``+``-combining new annotations into EDB facts) can
+resume the semi-naive fixpoint of :mod:`repro.datalog.seminaive` exactly
+where it stopped: the engine keeps its per-predicate stores and
+variable-binding indexes alive between updates, fires only the delta plan
+variants driven by the changed EDB predicate, and drains the consequences --
+no re-seeding, no re-grounding of what is already known.
+
+Two regimes, mirroring the one-shot engine:
+
+* **idempotent addition** (``B``, lattices, tropical, ...): the maintained
+  annotations are exact at all times; an insertion costs work proportional
+  to the new consequences only.
+* **non-idempotent addition** (``N∞``, provenance): the engine's collect
+  mode maintains the Boolean support and the set of fired rule
+  instantiations incrementally (both grow monotonically under insertions),
+  and the exact annotations are re-solved from the maintained grounding --
+  the grounding, not the solving, is the expensive part the incremental
+  path avoids redoing.
+
+Deletions can shrink a fixpoint non-monotonically (derived facts may lose
+all their derivations), which delta-plan firing cannot express; ``remove``
+therefore falls back to recomputation from the updated database, as the
+view layer does for semirings without negation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import DatalogError
+from repro.datalog.fixpoint import DEFAULT_MAX_ITERATIONS, DatalogResult
+from repro.datalog.grounding import GroundAtom, GroundProgram
+from repro.datalog.seminaive import _SemiNaiveEngine, solve_ground_seminaive
+from repro.datalog.syntax import Program
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.relations.tuples import Tup
+
+__all__ = ["IncrementalDatalog"]
+
+
+class IncrementalDatalog:
+    """A datalog fixpoint kept up to date under EDB insertions.
+
+    Usage::
+
+        maintained = IncrementalDatalog("T(x,y) :- R(x,y). T(x,y) :- R(x,z), T(z,y)", db)
+        maintained.insert("R", [(("a", "b"), 1)])
+        maintained.result            # a DatalogResult, same contract as evaluate_program
+        maintained.relation("T")     # the maintained IDB relation
+
+    ``insert`` entries follow the :class:`~repro.relations.krelation.KRelation`
+    row convention: ``(row, annotation)`` pairs or bare rows (annotation
+    ``1``); annotations combine into existing EDB facts with the semiring's
+    ``+``.  ``remove`` is the non-incremental escape hatch: it discards the
+    rows and rebuilds the engine from the updated database.
+    """
+
+    def __init__(
+        self,
+        program: Program | str,
+        database: Database,
+        *,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        on_divergence: str = "top",
+    ):
+        if on_divergence not in ("top", "error", "skip"):
+            raise ValueError(
+                f"on_divergence must be 'top', 'error' or 'skip', got {on_divergence!r}"
+            )
+        if isinstance(program, str):
+            program = Program.parse(program)
+        self.program = program
+        self.database = database
+        self.semiring = database.semiring
+        self.max_iterations = max_iterations
+        self.on_divergence = on_divergence
+        self._idempotent = self.semiring.idempotent_add
+        self._result: DatalogResult | None = None
+        self._rounds = 0
+        self._start_engine()
+
+    # -- engine lifecycle -------------------------------------------------------
+    def _start_engine(self) -> None:
+        self._engine = _SemiNaiveEngine(
+            self.program,
+            self.database,
+            collect=not self._idempotent,
+            maintain_edb=True,
+        )
+        budget = (
+            self.max_iterations
+            if self._idempotent
+            else max(self.max_iterations, DEFAULT_MAX_ITERATIONS)
+        )
+        self._rounds = self._engine.run(budget)
+        self._result = None
+
+    # -- results ----------------------------------------------------------------
+    @property
+    def result(self) -> DatalogResult:
+        """The current fixpoint (recomputed lazily after updates)."""
+        if self._result is None:
+            self._result = self._compute_result()
+        return self._result
+
+    def _compute_result(self) -> DatalogResult:
+        engine = self._engine
+        if self._idempotent:
+            ground = GroundProgram(
+                self.program,
+                self.database,
+                [],
+                engine.edb_annotations,
+                engine.derivable_atoms(),
+            )
+            return DatalogResult(
+                annotations=engine.annotations(),
+                iterations=self._rounds,
+                divergent_atoms=frozenset(),
+                ground=ground,
+            )
+        return solve_ground_seminaive(
+            engine.ground_program(),
+            self.semiring,
+            max_iterations=self.max_iterations,
+            on_divergence=self.on_divergence,
+        )
+
+    def relation(self, predicate: str) -> KRelation:
+        """The maintained K-relation of an IDB predicate."""
+        return self.result.relation(predicate, self.database)
+
+    def output_relation(self) -> KRelation:
+        """The maintained K-relation of the program's output predicate."""
+        return self.result.output_relation(self.database)
+
+    # -- updates ----------------------------------------------------------------
+    def _coerce_updates(
+        self, predicate: str, rows: Iterable[Any]
+    ) -> Tuple[KRelation, List[Tuple[Tup, Any]]]:
+        if predicate not in self.program.edb_predicates:
+            raise DatalogError(
+                f"{predicate!r} is not an EDB predicate of the program "
+                f"(EDB: {sorted(self.program.edb_predicates)})"
+            )
+        base = self.database.relation(predicate)
+        semiring = self.semiring
+        updates: List[Tuple[Tup, Any]] = []
+        for entry in rows:
+            row, annotation = base._split_entry(entry)
+            updates.append((base._coerce_tuple(row), semiring.coerce(annotation)))
+        return base, updates
+
+    def insert(self, predicate: str, rows: Iterable[Any]) -> DatalogResult:
+        """Insert EDB facts and resume the fixpoint incrementally.
+
+        Returns the updated :attr:`result`.  Annotation *combination* is the
+        semiring's ``+``, so over idempotent semirings re-inserting a known
+        fact with a dominated annotation is a no-op and nothing re-fires.
+        """
+        base, updates = self._coerce_updates(predicate, rows)
+        if not updates:
+            return self.result
+        if self._idempotent:
+            # The engine's EDB store *is* the database relation, so the merge
+            # inside apply_edb_delta updates both in one step.  (Idempotent
+            # addition rules out cancellation: a + a = a with inverses would
+            # force a = 0, so the support can only grow here.)
+            self._rounds += self._engine.apply_edb_delta(
+                predicate, updates, self.max_iterations
+            )
+        else:
+            # Collect mode works on a booleanized copy: merge the real
+            # annotations into the database, the support into the engine.
+            present_before = {tup for tup, _ in updates if tup in base._annotations}
+            changed = base.merge_delta(updates)
+            if any(tup not in base._annotations for tup in present_before):
+                # A negative insertion cancelled an EDB fact exactly: the
+                # support shrank, which the maintained Boolean grounding
+                # cannot un-derive -- rebuild, as remove() does.
+                self._start_engine()
+                return self.result
+            # Only genuinely changed tuples reach the engine; in particular a
+            # zero-valued insertion of an absent tuple must not create
+            # support the database does not have.
+            self._rounds += self._engine.apply_edb_delta(
+                predicate,
+                [(tup, value) for tup, value in changed.items()],
+                max(self.max_iterations, DEFAULT_MAX_ITERATIONS),
+            )
+        self._refresh_edb_annotations(predicate, base, updates)
+        self._result = None
+        return self.result
+
+    def _refresh_edb_annotations(
+        self, predicate: str, base: KRelation, updates: List[Tuple[Tup, Any]]
+    ) -> None:
+        attributes = base.schema.attributes
+        edb_annotations: Dict[GroundAtom, Any] = self._engine.edb_annotations
+        for tup, _ in updates:
+            atom = GroundAtom(predicate, tup.values_for(attributes))
+            current = base._annotations.get(tup)
+            if current is None:
+                edb_annotations.pop(atom, None)
+            else:
+                edb_annotations[atom] = current
+
+    def remove(self, predicate: str, rows: Iterable[Any]) -> DatalogResult:
+        """Remove EDB facts (recompute fallback).
+
+        Deletions shrink the fixpoint non-monotonically, so the maintained
+        state cannot be patched by delta firing: the rows are discarded from
+        the database and the engine is rebuilt from scratch.
+        """
+        base, updates = self._coerce_updates(predicate, rows)
+        for tup, _ in updates:
+            base.discard(tup)
+        self._start_engine()
+        return self.result

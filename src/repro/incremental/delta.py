@@ -1,0 +1,297 @@
+"""Delta K-relations: update batches and the delta-rule compiler.
+
+Because every positive-algebra operator is built from the semiring's ``+``
+and ``.``, the operators are *bilinear* in their inputs: evaluating a query
+over ``R + ΔR`` expands into the old result plus terms that each contain at
+least one delta factor.  Collecting those terms gives the classic delta
+rules of incremental view maintenance, here stated on K-relations:
+
+* ``Δ(R1 ∪ R2) = ΔR1 ∪ ΔR2``
+* ``Δ(π_V R) = π_V (ΔR)``
+* ``Δ(σ_P R) = σ_P (ΔR)``
+* ``Δ(ρ_β R) = ρ_β (ΔR)``
+* ``Δ(R1 ⋈ R2) = (ΔR1 ⋈ R2) ∪ (R1 ⋈ ΔR2) ∪ (ΔR1 ⋈ ΔR2)``
+
+where a *delta relation* is itself a K-relation whose annotations are the
+**changes** to be ``+``-combined into the current annotations.  Insertions
+are always expressible this way; deletions need the change ``-R(t)``, i.e.
+additive inverses, which is why deletion support is gated on the semiring's
+ring capability (``has_negation`` -- the ``Z`` / ``Z[X]`` structures of
+:mod:`repro.semirings.integers`).
+
+:func:`view_delta` is the direct, stateless compiler: it recursively applies
+the rules above against the *pre-update* database.  The stateful
+:class:`~repro.incremental.view.MaterializedView` avoids re-evaluating
+subqueries by materializing every operator node and using the equivalent
+two-term join rule ``ΔL ⋈ R_old ∪ L_new ⋈ ΔR``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Tuple
+
+from repro.algebra import operators
+from repro.algebra.ast import (
+    EmptyRelation,
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.errors import QueryError, SemiringError
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.relations.tuples import Tup
+
+__all__ = [
+    "UpdateBatch",
+    "view_delta",
+    "apply_delta",
+    "batch_deltas",
+    "apply_batch_to_database",
+]
+
+
+class UpdateBatch:
+    """One batch of base-relation updates: insertions and deletions.
+
+    ``insertions`` maps a relation name to entries in the same shape
+    :class:`~repro.relations.krelation.KRelation` accepts: ``(row, change)``
+    pairs or bare rows (change ``1``).  The change value combines into the
+    tuple's current annotation with the semiring's ``+`` -- over a ring a
+    "negative" change is therefore a partial or full retraction.
+
+    ``deletions`` maps a relation name to rows whose annotation should drop
+    to zero (removing the tuple from the support).  Deleting a row that is
+    not in the support is a no-op.
+
+    Within one batch, deletions are applied before insertions.
+    """
+
+    __slots__ = ("insertions", "deletions")
+
+    def __init__(
+        self,
+        insertions: Mapping[str, Iterable[Any]] | None = None,
+        deletions: Mapping[str, Iterable[Any]] | None = None,
+    ):
+        self.insertions: Dict[str, tuple] = {
+            name: tuple(entries) for name, entries in (insertions or {}).items()
+        }
+        self.deletions: Dict[str, tuple] = {
+            name: tuple(rows) for name, rows in (deletions or {}).items()
+        }
+
+    @classmethod
+    def of(cls, value: "UpdateBatch | Mapping[str, Iterable[Any]]") -> "UpdateBatch":
+        """Coerce a plain ``{relation: entries}`` mapping (insertions only)."""
+        if isinstance(value, UpdateBatch):
+            return value
+        return cls(insertions=value)
+
+    @property
+    def touched_relations(self) -> frozenset[str]:
+        """Names of the base relations this batch updates."""
+        return frozenset(self.insertions) | frozenset(self.deletions)
+
+    @property
+    def has_deletions(self) -> bool:
+        """Whether the batch removes any tuple from a support."""
+        return any(rows for rows in self.deletions.values())
+
+    def is_empty(self) -> bool:
+        """Whether the batch contains no updates at all."""
+        return not any(self.insertions.values()) and not self.has_deletions
+
+    def __repr__(self) -> str:
+        inserted = sum(len(e) for e in self.insertions.values())
+        deleted = sum(len(r) for r in self.deletions.values())
+        return f"UpdateBatch({inserted} insertions, {deleted} deletions)"
+
+
+def apply_delta(relation: KRelation, delta: KRelation) -> Dict[Tup, Any]:
+    """Combine a change-valued ``delta`` into ``relation`` with the semiring ``+``.
+
+    Returns the tuples whose annotation actually changed, mapped to their
+    **new** annotations -- the semiring zero for tuples whose annotation was
+    cancelled exactly (those are removed from the support, so the relation
+    stays :meth:`~repro.relations.krelation.KRelation.check_consistency`
+    clean).  Unlike :meth:`KRelation.merge_delta` the returned mapping can
+    therefore report removals, which is what view maintenance needs.
+    """
+    semiring = relation.semiring
+    annotations = relation._annotations
+    zero = semiring.zero()
+    changed: Dict[Tup, Any] = {}
+    for tup, change in delta.items():
+        current = annotations.get(tup)
+        combined = change if current is None else semiring.add(current, change)
+        if semiring.is_zero(combined):
+            if current is not None:
+                del annotations[tup]
+                changed[tup] = zero
+        elif combined != current:
+            annotations[tup] = combined
+            changed[tup] = combined
+    return changed
+
+
+def view_delta(
+    query: Query, database: Database, deltas: Mapping[str, KRelation]
+) -> KRelation:
+    """The change-valued delta of ``query`` under base-relation ``deltas``.
+
+    ``database`` must hold the *pre-update* state; ``deltas`` maps base
+    relation names to change-valued K-relations (see :func:`batch_deltas`).
+    The result is the delta relation ``Δq`` such that evaluating ``query``
+    after the update equals the old result ``+`` ``Δq`` tuple-wise -- exact
+    in every commutative semiring, because the operators are bilinear and the
+    delta annotations only ever enter through ``+`` and ``.``.
+
+    This is the stateless reference compiler: join nodes re-evaluate their
+    subqueries against ``database``.  Use
+    :class:`~repro.incremental.view.MaterializedView` to maintain those
+    intermediates instead of recomputing them per update.
+    """
+    if isinstance(query, RelationRef):
+        delta = deltas.get(query.name)
+        if delta is None:
+            return operators.empty(
+                database.semiring, database.relation(query.name).schema
+            )
+        return delta
+    if isinstance(query, EmptyRelation):
+        return operators.empty(database.semiring, query.schema)
+    if isinstance(query, Union):
+        return operators.union(
+            view_delta(query.left, database, deltas),
+            view_delta(query.right, database, deltas),
+        )
+    if isinstance(query, Project):
+        return operators.project(
+            view_delta(query.child, database, deltas), query.attributes
+        )
+    if isinstance(query, Select):
+        return operators.select(
+            view_delta(query.child, database, deltas), query.predicate
+        )
+    if isinstance(query, Rename):
+        return operators.rename(
+            view_delta(query.child, database, deltas), query.mapping
+        )
+    if isinstance(query, Join):
+        left_delta = view_delta(query.left, database, deltas)
+        right_delta = view_delta(query.right, database, deltas)
+        # The cross term also fixes the result schema; each old-side term is
+        # guarded so an untouched subquery is never re-evaluated just to be
+        # joined against a known-empty delta.
+        result = operators.join(left_delta, right_delta)
+        if left_delta:
+            result = operators.union(
+                result, operators.join(left_delta, query.right.evaluate(database))
+            )
+        if right_delta:
+            result = operators.union(
+                result, operators.join(query.left.evaluate(database), right_delta)
+            )
+        return result
+    raise QueryError(
+        f"no delta rule for query node {type(query).__name__}; "
+        "the delta compiler covers the positive algebra of Definition 3.2"
+    )
+
+
+def batch_deltas(database: Database, batch: UpdateBatch) -> Dict[str, KRelation]:
+    """Translate an :class:`UpdateBatch` into change-valued delta relations.
+
+    Insertions contribute their change values directly; a deletion of tuple
+    ``t`` from ``R`` contributes ``-R(t)``, which requires the semiring to be
+    a ring (``has_negation``).  Reads the *current* (pre-update) state of
+    ``database``; raises :class:`SemiringError` when deletions are requested
+    over a semiring without negation (callers fall back to recomputation).
+    """
+    semiring = database.semiring
+    deltas: Dict[str, KRelation] = {}
+
+    def delta_for(name: str) -> KRelation:
+        if name not in deltas:
+            deltas[name] = KRelation(semiring, database.relation(name).schema)
+        return deltas[name]
+
+    for name, rows in batch.deletions.items():
+        if not rows:
+            continue
+        if not semiring.has_negation:
+            raise SemiringError(
+                f"deletions need additive inverses, but {semiring.name} is not "
+                "a ring (has_negation is False); use Z / Z[X] annotations or "
+                "recompute the view"
+            )
+        relation = database.relation(name)
+        delta = delta_for(name)
+        seen: set[Tup] = set()
+        for row in rows:
+            tup = relation._coerce_tuple(row)
+            if tup in seen:
+                continue
+            seen.add(tup)
+            current = relation._annotations.get(tup)
+            if current is not None:
+                delta.add(tup, semiring.negate(current))
+    for name, entries in batch.insertions.items():
+        if not entries:
+            continue
+        relation = database.relation(name)
+        delta = delta_for(name)
+        for entry in entries:
+            row, change = relation._split_entry(entry)
+            delta.add(row, change)
+    return deltas
+
+
+def apply_batch_to_database(
+    database: Database, batch: UpdateBatch
+) -> Dict[str, Dict[Tup, Any]]:
+    """Apply ``batch`` to the base relations of ``database`` in place.
+
+    Deletions first (support removal), then insertions (``+``-combined, with
+    exact cancellations dropping tuples from the support).  Works in every
+    semiring -- no negation needed, since deletions mutate the stored
+    annotation directly rather than going through a delta value.  Returns,
+    per touched relation, the tuples whose annotation changed mapped to
+    their new annotations (the semiring zero for removed tuples).
+    """
+    changed: Dict[str, Dict[Tup, Any]] = {}
+    for name in sorted(batch.touched_relations):
+        relation = database.relation(name)
+        semiring = relation.semiring
+        zero = semiring.zero()
+        before: Dict[Tup, Any] = {}
+        annotations = relation._annotations
+        for row in batch.deletions.get(name, ()):
+            tup = relation._coerce_tuple(row)
+            if tup in annotations:
+                before.setdefault(tup, annotations[tup])
+                del annotations[tup]
+        for entry in batch.insertions.get(name, ()):
+            row, change = relation._split_entry(entry)
+            tup = relation._coerce_tuple(row)
+            before.setdefault(tup, annotations.get(tup, zero))
+            value = semiring.coerce(change)
+            current = annotations.get(tup)
+            combined = value if current is None else semiring.add(current, value)
+            if semiring.is_zero(combined):
+                annotations.pop(tup, None)
+            else:
+                annotations[tup] = combined
+        delta = {
+            tup: annotations.get(tup, zero)
+            for tup, old in before.items()
+            if annotations.get(tup, zero) != old
+        }
+        if delta:
+            changed[name] = delta
+    return changed

@@ -1,0 +1,263 @@
+"""Materialized views over K-relations, maintained by delta propagation.
+
+A :class:`MaterializedView` compiles a positive-algebra query into a tree of
+operator nodes, each owning the materialized K-relation of its subquery.
+Applying an :class:`~repro.incremental.delta.UpdateBatch` propagates
+change-valued deltas bottom-up through the tree:
+
+* linear operators (union, projection, selection, renaming) pass the child
+  delta through themselves;
+* a join node uses the two-term rule ``Δ(L ⋈ R) = ΔL ⋈ R_old ∪ L_new ⋈ ΔR``
+  against its children's *materialized* relations, so no subquery is ever
+  re-evaluated -- the work per update is proportional to the deltas and the
+  tuples they join with, not to the view size.
+
+Subtrees whose base relations are untouched by a batch are skipped
+entirely.  Deletions are expressed as negated annotation deltas, which needs
+the semiring's ring capability (``has_negation``, e.g. ``Z`` or ``Z[X]``);
+over a plain semiring a batch containing deletions falls back to **bounded
+recomputation** -- only the operator nodes whose subtree reads a touched
+base relation are re-evaluated, untouched subtrees keep their
+materializations (``last_apply_mode`` records which path ran).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.algebra import operators
+from repro.algebra.ast import (
+    EmptyRelation,
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.errors import QueryError
+from repro.incremental.delta import (
+    UpdateBatch,
+    apply_batch_to_database,
+    apply_delta,
+    batch_deltas,
+)
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+from repro.relations.tuples import Tup
+
+__all__ = ["MaterializedView"]
+
+
+class _Node:
+    """One operator of the compiled view: the query node, children, and the
+    materialized K-relation of the subquery rooted here.
+
+    Leaf (``RelationRef``) nodes hold a *private copy* of the base relation:
+    each leaf occurrence advances from old to new state exactly when the
+    propagation pass reaches it, which is what keeps the two-term join rule
+    correct even when the same base relation feeds both sides of a join.
+    """
+
+    __slots__ = ("query", "children", "relation", "base_names")
+
+    def __init__(self, query: Query, children: List["_Node"], relation: KRelation):
+        self.query = query
+        self.children = children
+        self.relation = relation
+        self.base_names = query.relation_names()
+
+
+def _build(query: Query, database: Database) -> _Node:
+    """Compile ``query`` into a node tree, evaluating every subquery once."""
+    if isinstance(query, RelationRef):
+        return _Node(query, [], database.relation(query.name).copy())
+    if isinstance(query, EmptyRelation):
+        return _Node(query, [], operators.empty(database.semiring, query.schema))
+    children = [_build(child, database) for child in query.children()]
+    relation = _evaluate_node(query, children, database)
+    return _Node(query, children, relation)
+
+
+def _evaluate_node(query: Query, children: List[_Node], database: Database) -> KRelation:
+    """Evaluate one operator from its children's materialized relations."""
+    if isinstance(query, Union):
+        return operators.union(children[0].relation, children[1].relation)
+    if isinstance(query, Project):
+        return operators.project(children[0].relation, query.attributes)
+    if isinstance(query, Select):
+        return operators.select(children[0].relation, query.predicate)
+    if isinstance(query, Rename):
+        return operators.rename(children[0].relation, query.mapping)
+    if isinstance(query, Join):
+        return operators.join(children[0].relation, children[1].relation)
+    raise QueryError(
+        f"cannot materialize query node {type(query).__name__}; "
+        "materialized views cover the positive algebra of Definition 3.2"
+    )
+
+
+def _propagate(
+    node: _Node,
+    deltas: Mapping[str, KRelation],
+    changed_out: Dict[Tup, Any] | None = None,
+) -> KRelation:
+    """Advance ``node`` (and its subtree) to the post-update state.
+
+    Returns the node's change-valued delta.  On entry the subtree holds the
+    pre-update materializations; on exit the post-update ones.  When
+    ``changed_out`` is given (the root call), it collects the tuples whose
+    materialized annotation *actually* changed -- a delta entry that is
+    absorbed without effect (idempotent re-insert) is not a change.
+    """
+    query = node.query
+    if not (node.base_names & deltas.keys()):
+        return node.relation.empty_like()
+    if isinstance(query, RelationRef):
+        delta = deltas[query.name]
+        applied = apply_delta(node.relation, delta)
+        if changed_out is not None:
+            changed_out.update(applied)
+        return delta
+    if isinstance(query, Union):
+        delta = operators.union(
+            _propagate(node.children[0], deltas),
+            _propagate(node.children[1], deltas),
+        )
+    elif isinstance(query, Project):
+        delta = operators.project(
+            _propagate(node.children[0], deltas), query.attributes
+        )
+    elif isinstance(query, Select):
+        delta = operators.select(
+            _propagate(node.children[0], deltas), query.predicate
+        )
+    elif isinstance(query, Rename):
+        delta = operators.rename(
+            _propagate(node.children[0], deltas), query.mapping
+        )
+    elif isinstance(query, Join):
+        left, right = node.children
+        # Two-term bilinear rule: the left child advances first, so the
+        # first term joins ΔL with R's *old* relation and the second joins
+        # L's *new* relation with ΔR (absorbing the ΔL ⋈ ΔR cross term).
+        left_delta = _propagate(left, deltas)
+        delta = operators.join(left_delta, right.relation)
+        right_delta = _propagate(right, deltas)
+        delta = operators.union(delta, operators.join(left.relation, right_delta))
+    else:  # pragma: no cover - _build already rejected exotic nodes
+        raise QueryError(f"no delta rule for {type(query).__name__}")
+    applied = apply_delta(node.relation, delta)
+    if changed_out is not None:
+        changed_out.update(applied)
+    return delta
+
+
+def _rebuild(node: _Node, database: Database, touched: frozenset[str]) -> None:
+    """Bounded recomputation: re-evaluate only subtrees reading ``touched``."""
+    if not (node.base_names & touched):
+        return
+    if isinstance(node.query, RelationRef):
+        node.relation = database.relation(node.query.name).copy()
+        return
+    for child in node.children:
+        _rebuild(child, database, touched)
+    node.relation = _evaluate_node(node.query, node.children, database)
+
+
+class MaterializedView:
+    """A query result kept up to date under base-relation update streams.
+
+    Parameters
+    ----------
+    query:
+        Any positive-algebra :class:`~repro.algebra.ast.Query`.
+    database:
+        The database the view reads; :meth:`apply` keeps its base relations
+        and the view in sync.
+    name:
+        Optional label used in ``repr``.
+
+    Usage::
+
+        view = MaterializedView(Q.relation("R").join(Q.relation("S")), db)
+        changed = view.apply(UpdateBatch(insertions={"R": [((1, 2), 1)]}))
+        view.relation          # the maintained K-relation
+
+    ``apply`` returns the view tuples whose annotation changed, mapped to
+    their new annotations (the semiring zero for tuples that left the
+    support).
+    """
+
+    def __init__(self, query: Query, database: Database, *, name: str = "view"):
+        self.query = query
+        self.database = database
+        self.name = name
+        self._root = _build(query, database)
+        #: ``"incremental"`` or ``"recompute"`` -- how the last :meth:`apply`
+        #: ran (``None`` before the first apply).
+        self.last_apply_mode: str | None = None
+
+    # -- state ------------------------------------------------------------------
+    @property
+    def relation(self) -> KRelation:
+        """The maintained view contents (do not mutate in place)."""
+        return self._root.relation
+
+    @property
+    def semiring(self):
+        """The annotation semiring of the view."""
+        return self.database.semiring
+
+    @property
+    def supports_deletions(self) -> bool:
+        """Whether deletions propagate incrementally (ring annotations)."""
+        return self.database.semiring.has_negation
+
+    # -- maintenance -------------------------------------------------------------
+    def apply(
+        self, batch: UpdateBatch | Mapping[str, Any]
+    ) -> Dict[Tup, Any]:
+        """Apply an update batch to the base relations and the view.
+
+        Insertions always propagate incrementally.  Batches containing
+        deletions propagate incrementally when the semiring has negation and
+        fall back to bounded recomputation otherwise.  Returns the changed
+        view tuples mapped to their new annotations (zero = removed).
+        """
+        batch = UpdateBatch.of(batch)
+        if batch.is_empty():
+            self.last_apply_mode = "incremental"
+            return {}
+        if batch.has_deletions and not self.supports_deletions:
+            return self._apply_by_recompute(batch)
+        deltas = batch_deltas(self.database, batch)
+        apply_batch_to_database(self.database, batch)
+        changed: Dict[Tup, Any] = {}
+        _propagate(self._root, deltas, changed)
+        self.last_apply_mode = "incremental"
+        return changed
+
+    def _apply_by_recompute(self, batch: UpdateBatch) -> Dict[Tup, Any]:
+        touched = batch.touched_relations
+        apply_batch_to_database(self.database, batch)
+        old = dict(self._root.relation._annotations)
+        _rebuild(self._root, self.database, touched)
+        self.last_apply_mode = "recompute"
+        new = self._root.relation._annotations
+        zero = self.semiring.zero()
+        changed = {tup: value for tup, value in new.items() if old.get(tup) != value}
+        changed.update({tup: zero for tup in old if tup not in new})
+        return changed
+
+    def refresh(self) -> KRelation:
+        """Rebuild the whole view from the database (full recomputation)."""
+        self._root = _build(self.query, self.database)
+        return self._root.relation
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterializedView({self.name!r}, {self.semiring.name}, "
+            f"{len(self._root.relation)} tuples)"
+        )

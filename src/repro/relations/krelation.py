@@ -163,6 +163,13 @@ class KRelation:
         from the delta, so a fixpoint driver can stop as soon as a merge
         returns an empty relation.
 
+        Updates that cancel an annotation exactly to zero (possible when the
+        semiring has negation) remove the tuple from the support, keeping the
+        stored-zero invariant of Definition 3.1; since a K-relation cannot
+        carry a zero annotation, such cancelled tuples are absent from the
+        returned delta (callers that must observe removals, like the
+        incremental view layer, use :func:`repro.incremental.apply_delta`).
+
         Like :meth:`_accumulate` this is a fast path: ``tup`` must be a
         canonical :class:`Tup` over this schema and ``value`` a carrier
         element (both hold inside the datalog engines, where every value
@@ -177,8 +184,11 @@ class KRelation:
             if current is None and semiring.is_zero(combined):
                 continue
             if combined != current:
-                annotations[tup] = combined
-                delta._annotations[tup] = combined
+                if semiring.is_zero(combined):
+                    del annotations[tup]
+                else:
+                    annotations[tup] = combined
+                    delta._annotations[tup] = combined
         return delta
 
     def discard(self, row: RowLike) -> None:

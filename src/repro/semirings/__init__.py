@@ -28,6 +28,11 @@ from repro.semirings.homomorphism import (
     polynomial_evaluation,
     series_evaluation,
 )
+from repro.semirings.integers import (
+    IntegerPolynomialRing,
+    IntegerRing,
+    ZPolynomial,
+)
 from repro.semirings.lineage import (
     BOTTOM,
     WhyProvenanceSemiring,
@@ -79,6 +84,9 @@ __all__ = [
     "BOTTOM",
     "EventSemiring",
     "EventSpace",
+    "IntegerRing",
+    "IntegerPolynomialRing",
+    "ZPolynomial",
     "Monomial",
     "Polynomial",
     "PolynomialSemiring",

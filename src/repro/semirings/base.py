@@ -28,6 +28,12 @@ structure used by later sections of the paper:
 * :meth:`Semiring.star` -- the Kleene star ``a* = 1 + a + a.a + ...`` when it
   is defined, used to express solutions of algebraic systems such as
   ``x = a.x + b  =>  x = a*. b`` (Section 5).
+* ``has_negation`` / :meth:`Semiring.negate` -- whether every element has an
+  additive inverse, i.e. ``(K, +, ., 0, 1)`` is a commutative *ring*.  Rings
+  (``Z``, ``Z[X]``) can represent deletions as negative deltas, which is what
+  makes materialized views over K-relations maintainable under arbitrary
+  update streams (:mod:`repro.incremental`); plain semirings support only
+  insertions incrementally and fall back to recomputation for deletions.
 """
 
 from __future__ import annotations
@@ -73,6 +79,12 @@ class Semiring:
     #: partial order (Section 5: "naturally ordered").
     naturally_ordered: bool = True
 
+    #: Whether every element has an additive inverse (the structure is a
+    #: commutative ring).  Ring semirings implement :meth:`negate`; they are
+    #: the structures over which deletions propagate incrementally through
+    #: materialized views (:mod:`repro.incremental`).
+    has_negation: bool = False
+
     # ------------------------------------------------------------------
     # Core interface
     # ------------------------------------------------------------------
@@ -113,6 +125,21 @@ class Semiring:
             f"{value!r} is not an element of the semiring {self.name}"
         )
 
+    def negate(self, value: Any) -> Any:
+        """Return the additive inverse ``-value`` when ``has_negation``.
+
+        Semirings proper have no additive inverses, so the default raises;
+        ring subclasses (``Z``, ``Z[X]``) override this together with setting
+        ``has_negation = True``.
+        """
+        raise SemiringError(
+            f"{self.name} has no additive inverses (has_negation is False)"
+        )
+
+    def subtract(self, a: Any, b: Any) -> Any:
+        """Return ``a - b = a + (-b)``; defined only when ``has_negation``."""
+        return self.add(a, self.negate(b))
+
     def is_zero(self, value: Any) -> bool:
         """Return whether ``value`` equals the additive identity."""
         return value == self.zero()
@@ -136,14 +163,19 @@ class Semiring:
         return result
 
     def from_int(self, n: int) -> Any:
-        """Embed the natural number ``n`` as ``1 + 1 + ... + 1`` (n times).
+        """Embed the integer ``n`` as ``1 + 1 + ... + 1`` (n times).
 
         The paper uses this embedding to evaluate polynomials with integer
         coefficients in an arbitrary semiring (Proposition 4.2): ``n . a``
-        means the sum of ``n`` copies of ``a``.
+        means the sum of ``n`` copies of ``a``.  Negative ``n`` is defined
+        only for rings (``has_negation``), as ``-( (-n) . 1 )``.
         """
         if n < 0:
-            raise SemiringError("semirings have no additive inverses; n must be >= 0")
+            if not self.has_negation:
+                raise SemiringError(
+                    "semirings have no additive inverses; n must be >= 0"
+                )
+            return self.negate(self.from_int(-n))
         result = self.zero()
         one = self.one()
         for _ in range(n):
@@ -151,9 +183,17 @@ class Semiring:
         return result
 
     def scale(self, n: int, value: Any) -> Any:
-        """Return the sum of ``n`` copies of ``value`` (``n . value``)."""
+        """Return the sum of ``n`` copies of ``value`` (``n . value``).
+
+        Negative ``n`` is defined only for rings (``has_negation``), as
+        ``-((-n) . value)``.
+        """
         if n < 0:
-            raise SemiringError("semirings have no additive inverses; n must be >= 0")
+            if not self.has_negation:
+                raise SemiringError(
+                    "semirings have no additive inverses; n must be >= 0"
+                )
+            return self.negate(self.scale(-n, value))
         result = self.zero()
         for _ in range(n):
             result = self.add(result, value)

@@ -14,6 +14,7 @@ from repro.errors import SemiringError
 from repro.semirings.base import Semiring
 from repro.semirings.boolean import BooleanSemiring
 from repro.semirings.fuzzy import FuzzySemiring, ViterbiSemiring
+from repro.semirings.integers import IntegerPolynomialRing, IntegerRing
 from repro.semirings.lineage import WhyProvenanceSemiring, WitnessWhySemiring
 from repro.semirings.numeric import CompletedNaturalsSemiring, NaturalsSemiring
 from repro.semirings.polynomial import PolynomialSemiring, ProvenancePolynomialSemiring
@@ -49,6 +50,11 @@ _FACTORIES: Dict[str, Callable[[], Semiring]] = {
     "why": WhyProvenanceSemiring,
     "lineage": WhyProvenanceSemiring,
     "why-witness": WitnessWhySemiring,
+    "z": IntegerRing,
+    "int": IntegerRing,
+    "integers": IntegerRing,
+    "zx": IntegerPolynomialRing,
+    "z-polynomial": IntegerPolynomialRing,
     "provenance": ProvenancePolynomialSemiring,
     "polynomial": ProvenancePolynomialSemiring,
     "nx": ProvenancePolynomialSemiring,

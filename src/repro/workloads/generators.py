@@ -8,7 +8,10 @@ evaluation:
 * random binary relations / star-join schemas for the positive algebra;
 * random directed graphs, chains, cycles and DAGs for datalog transitive
   closure across semirings;
-* tuple-independent probabilistic relations with controllable uncertainty.
+* tuple-independent probabilistic relations with controllable uncertainty;
+* random update streams (batches of insertions and deletions against a
+  database snapshot) for the incremental view-maintenance benchmarks and
+  the differential update-stream harness.
 
 All generators are deterministic given a seed, so benchmark runs are
 reproducible.
@@ -38,6 +41,8 @@ __all__ = [
     "dag_database",
     "triangle_query",
     "transitive_closure_program",
+    "random_update_stream",
+    "random_edge_insert_stream",
 ]
 
 
@@ -55,7 +60,7 @@ def random_annotation(semiring: Semiring, rng: random.Random, index: int) -> obj
         from repro.semirings.power_series import FormalPowerSeries
 
         return FormalPowerSeries.var(f"x{index}")
-    if name in ("N", "N∞"):
+    if name in ("N", "N∞", "Z"):
         return semiring.coerce(rng.randint(1, 5))
     if name in ("Fuzzy", "Viterbi"):
         # dyadic values keep float products exact, so algebraic identities can
@@ -69,6 +74,10 @@ def random_annotation(semiring: Semiring, rng: random.Random, index: int) -> obj
         return frozenset({f"x{index}"})
     if name in ("N[X]", "N∞[X]"):
         return Polynomial.var(f"x{index}")
+    if name == "Z[X]":
+        from repro.semirings.integers import ZPolynomial
+
+        return ZPolynomial.var(f"x{index}")
     return semiring.one()
 
 
@@ -215,6 +224,99 @@ def dag_database(
 def triangle_query() -> Program:
     """The triangle-counting conjunctive query ``T(x,y,z) :- R(x,y), R(y,z), R(z,x)``."""
     return Program.parse("T(x, y, z) :- R(x, y), R(y, z), R(z, x)")
+
+
+def random_update_stream(
+    database: Database,
+    *,
+    batches: int,
+    inserts_per_batch: int = 4,
+    deletes_per_batch: int = 0,
+    domain_size: int = 30,
+    seed: int = 0,
+    relation_names: Sequence[str] | None = None,
+):
+    """A reproducible stream of :class:`~repro.incremental.UpdateBatch` objects.
+
+    Each batch inserts ``inserts_per_batch`` random tuples (fresh annotations
+    from :func:`random_annotation`, ``+``-combined on collision) and deletes
+    ``deletes_per_batch`` tuples drawn from the relations' *live* supports,
+    spread over ``relation_names`` (default: every relation of ``database``).
+    The generator tracks the evolving supports itself, so the stream can be
+    produced up front and replayed against any copy of ``database`` -- the
+    database passed in is only read, never mutated.
+    """
+    from repro.incremental import UpdateBatch
+
+    rng = random.Random(seed)
+    names = list(relation_names or database.names())
+    semiring = database.semiring
+    live: dict[str, dict] = {}
+    schemas: dict[str, Sequence[str]] = {}
+    for name in names:
+        relation = database.relation(name)
+        schemas[name] = relation.schema.attributes
+        live[name] = {tup.values_for(schemas[name]): None for tup in relation}
+    index = sum(len(rows) for rows in live.values())
+    stream = []
+    for _ in range(batches):
+        insertions: dict[str, list] = {}
+        deletions: dict[str, list] = {}
+        for _ in range(inserts_per_batch):
+            name = rng.choice(names)
+            values = tuple(
+                f"v{rng.randrange(domain_size)}" for _ in schemas[name]
+            )
+            index += 1
+            insertions.setdefault(name, []).append(
+                (values, random_annotation(semiring, rng, index))
+            )
+            live[name][values] = None
+        for _ in range(deletes_per_batch):
+            name = rng.choice(names)
+            if not live[name]:
+                continue
+            values = rng.choice(list(live[name]))
+            deletions.setdefault(name, []).append(values)
+            del live[name][values]
+        stream.append(UpdateBatch(insertions=insertions, deletions=deletions))
+    return stream
+
+
+def random_edge_insert_stream(
+    semiring: Semiring,
+    *,
+    nodes: int,
+    batches: int,
+    edges_per_batch: int = 2,
+    seed: int = 0,
+    relation_name: str = "R",
+):
+    """Batches of random edge insertions for the incremental datalog workloads.
+
+    Returns a list of batches, each a list of ``((source, target),
+    annotation)`` entries ready for
+    :meth:`repro.incremental.IncrementalDatalog.insert` on ``relation_name``.
+    """
+    rng = random.Random(seed)
+    stream = []
+    index = 0
+    for _ in range(batches):
+        batch = []
+        for _ in range(edges_per_batch):
+            source = rng.randrange(nodes)
+            target = rng.randrange(nodes)
+            if source == target:
+                target = (target + 1) % nodes
+            index += 1
+            batch.append(
+                (
+                    (f"n{source}", f"n{target}"),
+                    random_annotation(semiring, rng, index),
+                )
+            )
+        stream.append(batch)
+    return stream
 
 
 def boolean_copy(database: Database) -> Database:

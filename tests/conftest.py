@@ -10,6 +10,8 @@ from repro import (
     BooleanSemiring,
     CompletedNaturalsSemiring,
     FuzzySemiring,
+    IntegerPolynomialRing,
+    IntegerRing,
     NaturalsSemiring,
     PolynomialSemiring,
     PosBoolSemiring,
@@ -18,6 +20,7 @@ from repro import (
     ViterbiSemiring,
     WhyProvenanceSemiring,
     WitnessWhySemiring,
+    ZPolynomial,
 )
 from repro.semirings.polynomial import Polynomial
 from repro.semirings.posbool import BoolExpr
@@ -63,6 +66,18 @@ def _sample_elements(semiring):
             Polynomial.parse("2*p^2 + r*s"),
             Polynomial.parse("p + r"),
         ]
+    if name == "Z":
+        return [-3, -1, 0, 1, 2, 7]
+    if name == "Z[X]":
+        p, r = ZPolynomial.var("p"), ZPolynomial.var("r")
+        return [
+            ZPolynomial.zero(),
+            ZPolynomial.one(),
+            p,
+            -p,
+            p * p - r,
+            p - r + 2,
+        ]
     return [semiring.zero(), semiring.one()]
 
 
@@ -78,6 +93,8 @@ ALL_SEMIRINGS = [
     WitnessWhySemiring(),
     ProvenancePolynomialSemiring(),
     PolynomialSemiring(allow_infinite_coefficients=True),
+    IntegerRing(),
+    IntegerPolynomialRing(),
 ]
 
 LATTICE_SEMIRINGS = [s for s in ALL_SEMIRINGS if s.is_distributive_lattice]

@@ -6,6 +6,7 @@ from repro.errors import SchemaError, SemiringError
 from repro.relations import Database, KRelation, Tup
 from repro.semirings import (
     BooleanSemiring,
+    IntegerRing,
     NaturalsSemiring,
     Polynomial,
     ProvenancePolynomialSemiring,
@@ -135,6 +136,39 @@ class TestMergeDelta:
         combined = Polynomial.var("p") + Polynomial.var("r")
         assert relation.annotation(("x",)) == combined
         assert delta.annotation(("x",)) == combined
+
+    def test_exact_cancellation_drops_tuple_from_support(self):
+        # Regression: a delta that cancels an annotation to zero must remove
+        # the tuple (no stored zero), keeping check_consistency clean.
+        ring = IntegerRing()
+        relation = KRelation(ring, ["a"], [(("x",), 3), (("y",), 1)])
+        delta = relation.merge_delta([(Tup(a="x"), -3), (Tup(a="y"), 2)])
+        assert ("x",) not in relation
+        assert relation.annotation(("x",)) == 0
+        assert relation.support == frozenset({Tup(a="y")})
+        relation.check_consistency()
+        # the cancelled tuple cannot carry a zero in the returned delta
+        assert dict(delta.items()) == {Tup(a="y"): 3}
+
+    def test_cancellation_inside_materialized_view(self):
+        from repro.incremental import MaterializedView, UpdateBatch
+
+        ring = IntegerRing()
+        database = Database(ring)
+        database.create("R", ["a", "b"], [(("1", "2"), 2)])
+        database.create("S", ["b", "c"], [(("2", "x"), 3)])
+        from repro.algebra.ast import Q
+
+        view = MaterializedView(
+            Q.relation("R").join(Q.relation("S")).project("a", "c"), database
+        )
+        assert view.relation.annotation(("1", "x")) == 6
+        # a negative insertion that exactly cancels the view annotation
+        changed = view.apply(UpdateBatch(insertions={"R": [(("1", "2"), -2)]}))
+        assert changed == {Tup(a="1", c="x"): 0}
+        assert len(view.relation) == 0
+        view.relation.check_consistency()
+        database.relation("R").check_consistency()
 
 
 class TestDatabase:

@@ -1,0 +1,118 @@
+"""The Z and Z[X] rings: conversions, evaluation, and rendering."""
+
+import pytest
+
+from repro.errors import InvalidAnnotationError, SemiringError
+from repro.semirings import (
+    IntegerPolynomialRing,
+    IntegerRing,
+    NaturalsSemiring,
+    Polynomial,
+    ZPolynomial,
+    get_semiring,
+)
+from repro.semirings.polynomial import Monomial
+
+
+class TestIntegerRing:
+    def test_registry_aliases(self):
+        assert get_semiring("z").name == "Z"
+        assert get_semiring("int").name == "Z"
+        assert get_semiring("integers").name == "Z"
+        assert get_semiring("zx").name == "Z[X]"
+        assert get_semiring("z-polynomial").name == "Z[X]"
+
+    def test_contains_signed_integers_but_not_bools(self):
+        ring = IntegerRing()
+        assert ring.contains(-5) and ring.contains(0) and ring.contains(7)
+        assert not ring.contains(True)
+        assert not ring.contains(2.5)
+
+    def test_coercions(self):
+        ring = IntegerRing()
+        assert ring.coerce(True) == 1 and ring.coerce(False) == 0
+        assert ring.from_int(-3) == -3
+
+    def test_not_naturally_ordered(self):
+        ring = IntegerRing()
+        assert not ring.naturally_ordered
+        with pytest.raises(NotImplementedError):
+            ring.leq(1, 2)
+
+
+class TestZPolynomial:
+    def test_of_accepts_nx_polynomials_and_strings(self):
+        p = ZPolynomial.of(Polynomial.parse("2*p^2 + r*s"))
+        assert p.coefficient(Monomial({"p": 2})) == 2
+        assert ZPolynomial.of("p + r") == ZPolynomial.var("p") + ZPolynomial.var("r")
+        assert ZPolynomial.of(3) == ZPolynomial.constant(3)
+        assert ZPolynomial.of(True) == ZPolynomial.one()
+
+    def test_difference_arithmetic(self):
+        p, r = ZPolynomial.var("p"), ZPolynomial.var("r")
+        assert (p + r) * (p - r) == p * p - r * r
+        assert p - p == ZPolynomial.zero()
+        assert -(p - r) == r - p
+        assert (p - r) ** 2 == p * p - 2 * p * r + r * r
+
+    def test_zero_coefficients_never_stored(self):
+        p = ZPolynomial.var("p")
+        cancelled = p + (-p)
+        assert cancelled.is_zero()
+        assert cancelled.terms == ()
+        assert not cancelled
+
+    def test_rendering_uses_signs(self):
+        p, r = ZPolynomial.var("p"), ZPolynomial.var("r")
+        assert str(p - r) == "p - r"
+        assert str(-p) == "-p"
+        assert str(2 * p - 3 * r * r) == "2·p - 3·r^2"
+        assert str(ZPolynomial.zero()) == "0"
+
+    def test_to_polynomial_round_trip_and_guard(self):
+        p = ZPolynomial.of("2*p^2 + r")
+        assert ZPolynomial.of(p.to_polynomial()) == p
+        with pytest.raises(SemiringError):
+            (-p).to_polynomial()
+
+    def test_evaluate_in_a_ring_and_in_a_semiring(self):
+        ring = IntegerRing()
+        p = ZPolynomial.of("p") - ZPolynomial.of("r")
+        assert p.evaluate(ring, {"p": 5, "r": 2}) == 3
+        # non-negative polynomials evaluate in plain semirings too
+        q = ZPolynomial.of("2*p + r")
+        assert q.evaluate(NaturalsSemiring(), {"p": 3, "r": 1}) == 7
+        # negative coefficients need additive inverses in the target
+        with pytest.raises(SemiringError):
+            p.evaluate(NaturalsSemiring(), {"p": 5, "r": 2})
+
+    def test_equality_with_unparseable_strings_does_not_raise(self):
+        # Regression: comparison must return NotImplemented (falling back to
+        # False), not leak a ParseError -- notably for the signed strings
+        # ZPolynomial's own __str__ produces.
+        p = ZPolynomial.var("p") - ZPolynomial.var("r")
+        assert not (p == "p - r")
+        assert p != "p - r"
+        assert not (ZPolynomial.var("p") == "not a polynomial!")
+
+    def test_rejects_non_integer_coefficients(self):
+        with pytest.raises(InvalidAnnotationError):
+            ZPolynomial({Monomial.var("p"): 1.5})
+        with pytest.raises(InvalidAnnotationError):
+            ZPolynomial.of(2.5)
+
+
+class TestIntegerPolynomialRing:
+    def test_ring_operations(self):
+        ring = IntegerPolynomialRing()
+        p = ring.var("p")
+        assert ring.subtract(p, p) == ring.zero()
+        assert ring.negate(ring.one()) == ZPolynomial.constant(-1)
+        assert ring.coerce("p + r") == p + ring.var("r")
+        assert ring.from_int(-2) == ZPolynomial.constant(-2)
+        assert ring.format_value(p - ring.var("r")) == "p - r"
+
+    def test_scale_with_negative_counts(self):
+        ring = IntegerPolynomialRing()
+        p = ring.var("p")
+        assert ring.scale(-2, p) == ZPolynomial.of("p") * (-2)

@@ -22,11 +22,12 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.algebra.ast import Q
 from repro.datalog import Program, Rule
 from repro.logic import Atom, Constant, Variable
 from repro.relations.database import Database
 from repro.relations.krelation import KRelation
-from repro.semirings import Polynomial, get_semiring
+from repro.semirings import Polynomial, ZPolynomial, get_semiring
 from repro.semirings.base import Semiring
 from repro.semirings.numeric import INFINITY, NatInf
 from repro.semirings.posbool import BoolExpr
@@ -36,10 +37,16 @@ __all__ = [
     "IDB_PREDICATES",
     "DOMAIN",
     "REGISTRY_SEMIRING_NAMES",
+    "VIEW_SEMIRING_NAMES",
+    "BASE_SCHEMAS",
     "annotation_for",
+    "random_annotation",
+    "semiring_elements",
     "programs",
     "edb_databases",
     "programs_with_databases",
+    "ra_queries",
+    "view_databases",
 ]
 
 EDB_PREDICATES = ("R", "S")
@@ -49,6 +56,14 @@ VARIABLE_NAMES = ("x", "y", "z", "w")
 
 #: Registry names of the semirings the differential suite runs over.
 REGISTRY_SEMIRING_NAMES = ("bag", "bool", "tropical", "posbool", "nx", "circuit")
+
+#: Registry names of the semirings the incremental-view differential harness
+#: runs over (insertions everywhere; deletions where ``has_negation``).
+VIEW_SEMIRING_NAMES = ("bag", "bool", "tropical", "posbool", "z", "zx")
+
+#: Base relations (and their named-perspective schemas) the random RA
+#: expression strategy draws from.
+BASE_SCHEMAS = {"R": ("a", "b"), "S": ("b", "c")}
 
 
 def annotation_for(semiring: Semiring, index: int, draw) -> object:
@@ -79,7 +94,49 @@ def annotation_for(semiring: Semiring, index: int, draw) -> object:
         return Polynomial.var(f"t{index}")
     if name == "Circ[X]":
         return semiring.var(f"t{index}")
+    if name == "Z":
+        return draw(st.sampled_from([-3, -1, 1, 2, 4]))
+    if name == "Z[X]":
+        variable = ZPolynomial.var(f"t{index}")
+        return draw(st.sampled_from([variable, -variable, variable + 2, variable - 1]))
+    if "[[" in name:  # truncated power series N∞[[X]]
+        return semiring.var(f"t{index}")
     return semiring.one()
+
+
+#: Alias used by callers that mirror ``repro.workloads.random_annotation``.
+random_annotation = annotation_for
+
+
+@st.composite
+def semiring_elements(draw, semiring: Semiring):
+    """A random carrier element: zero, one, or a small ``+``/``.`` combination.
+
+    Builds on :func:`annotation_for` (a fresh "interesting" element per draw)
+    and closes under the semiring operations -- and negation, for rings -- so
+    the axiom property suite exercises composite values, not just generators.
+    """
+
+    def base() -> object:
+        choice = draw(st.integers(min_value=0, max_value=5))
+        if choice == 0:
+            return semiring.zero()
+        if choice == 1:
+            return semiring.one()
+        return semiring.coerce(
+            annotation_for(semiring, draw(st.integers(min_value=1, max_value=4)), draw)
+        )
+
+    value = base()
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        other = base()
+        if draw(st.booleans()):
+            value = semiring.add(value, other)
+        else:
+            value = semiring.mul(value, other)
+    if semiring.has_negation and draw(st.booleans()):
+        value = semiring.negate(value)
+    return value
 
 
 @st.composite
@@ -177,3 +234,104 @@ def programs_with_databases(draw, semiring_name: str):
     program = draw(programs())
     database = draw(edb_databases(program, semiring))
     return program, database
+
+
+# ---------------------------------------------------------------------------
+# Random positive-algebra expressions (for the incremental-view harness)
+# ---------------------------------------------------------------------------
+
+_RENAME_POOL = ("u", "v", "w")
+
+
+@st.composite
+def ra_queries(draw, max_depth: int = 3):
+    """A random positive-algebra query over ``BASE_SCHEMAS``.
+
+    Returns ``(query, schema)`` where ``schema`` is the attribute tuple of
+    the query's result.  Schema bookkeeping during generation keeps every
+    draw well-formed: projections pick non-empty attribute subsets, unions
+    are taken over a common projection of both sides, renames avoid
+    collisions, and joins are unrestricted (shared attributes or cross
+    product, both legal in Definition 3.2).
+    """
+
+    def leaf():
+        name = draw(st.sampled_from(sorted(BASE_SCHEMAS)))
+        return Q.relation(name), BASE_SCHEMAS[name]
+
+    def build(depth: int):
+        if depth == 0 or draw(st.integers(min_value=0, max_value=3)) == 0:
+            return leaf()
+        kind = draw(
+            st.sampled_from(("project", "select", "rename", "join", "union"))
+        )
+        if kind == "project":
+            query, schema = build(depth - 1)
+            keep = sorted(
+                draw(
+                    st.sets(
+                        st.sampled_from(sorted(schema)),
+                        min_size=1,
+                        max_size=len(schema),
+                    )
+                )
+            )
+            return query.project(*keep), tuple(keep)
+        if kind == "select":
+            query, schema = build(depth - 1)
+            attribute = draw(st.sampled_from(sorted(schema)))
+            value = draw(st.sampled_from(DOMAIN))
+            return query.where_eq(attribute, value), schema
+        if kind == "rename":
+            query, schema = build(depth - 1)
+            fresh = [n for n in _RENAME_POOL if n not in schema]
+            if not fresh:
+                return query, schema
+            old = draw(st.sampled_from(sorted(schema)))
+            new = draw(st.sampled_from(fresh))
+            renamed = tuple(new if a == old else a for a in schema)
+            return query.rename({old: new}), renamed
+        left, left_schema = build(depth - 1)
+        right, right_schema = build(depth - 1)
+        if kind == "join":
+            joined = left_schema + tuple(
+                a for a in right_schema if a not in left_schema
+            )
+            return left.join(right), joined
+        common = sorted(set(left_schema) & set(right_schema))
+        if not common:
+            # No union-compatible projection exists; degrade to a join.
+            joined = left_schema + tuple(
+                a for a in right_schema if a not in left_schema
+            )
+            return left.join(right), joined
+        return (
+            left.project(*common).union(right.project(*common)),
+            tuple(common),
+        )
+
+    return build(max_depth)
+
+
+@st.composite
+def view_databases(draw, semiring: Semiring):
+    """A random database providing every base relation of ``BASE_SCHEMAS``."""
+    database = Database(semiring)
+    index = 0
+    for name in sorted(BASE_SCHEMAS):
+        attributes = BASE_SCHEMAS[name]
+        relation = KRelation(semiring, attributes)
+        count = draw(st.integers(min_value=0, max_value=5))
+        rows = draw(
+            st.lists(
+                st.tuples(*([st.sampled_from(DOMAIN)] * len(attributes))),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        for values in rows:
+            index += 1
+            relation.set(values, annotation_for(semiring, index, draw))
+        database.register(name, relation)
+    return database
