@@ -129,6 +129,14 @@ from repro.incremental import (
     batch_deltas,
     view_delta,
 )
+from repro.planner import (
+    CostModel,
+    OptimizationReport,
+    Statistics,
+    explain,
+    optimize,
+    plan_signature,
+)
 
 __version__ = "1.0.0"
 
@@ -209,6 +217,13 @@ __all__ = [
     "apply_delta",
     "batch_deltas",
     "apply_batch_to_database",
+    # planner
+    "optimize",
+    "explain",
+    "OptimizationReport",
+    "Statistics",
+    "CostModel",
+    "plan_signature",
     # algebra
     "Q",
     "Query",

@@ -48,17 +48,42 @@ __all__ = [
 class Query:
     """Base class of positive-algebra query expressions.
 
-    Subclasses implement :meth:`evaluate`; the fluent combinators defined
+    Subclasses implement :meth:`_execute`; the fluent combinators defined
     here (``union``, ``project``, ``select``, ``join``, ``rename``) build
-    larger queries out of smaller ones.
+    larger queries out of smaller ones, and :meth:`evaluate` runs the tree
+    (optionally through the planner first with ``optimize=True``).
     """
 
-    def evaluate(self, database: Database) -> KRelation:
-        """Evaluate the query against ``database`` and return a K-relation."""
+    def evaluate(self, database: Database, *, optimize: bool = False) -> KRelation:
+        """Evaluate the query against ``database`` and return a K-relation.
+
+        With ``optimize=True`` the query is first run through the
+        semiring-aware planner (:func:`repro.planner.optimize`) -- pushdowns,
+        fusions and cost-based join reordering, all justified by Proposition
+        3.4 -- and the optimized plan is executed instead.  The result is the
+        same K-relation annotation-for-annotation; only the display order of
+        attributes may differ (the named perspective is order-free).
+        """
+        if optimize:
+            return self.optimized(database)._execute(database)
+        return self._execute(database)
+
+    def _execute(self, database: Database) -> KRelation:
+        """Execute this operator tree as written (implemented by subclasses)."""
         raise NotImplementedError
 
-    def __call__(self, database: Database) -> KRelation:
-        return self.evaluate(database)
+    def optimized(self, database: Database | None = None, **options) -> "Query":
+        """The planner's equivalent, cheaper plan for this query.
+
+        ``options`` are forwarded to :func:`repro.planner.optimize`
+        (``semiring=``, ``statistics=``, ``reorder=``, ...).
+        """
+        from repro.planner import optimize as _optimize
+
+        return _optimize(self, database, **options)
+
+    def __call__(self, database: Database, *, optimize: bool = False) -> KRelation:
+        return self.evaluate(database, optimize=optimize)
 
     # -- combinators -------------------------------------------------------------
     def union(self, other: "Query") -> "Union":
@@ -115,7 +140,7 @@ class RelationRef(Query):
     def __init__(self, name: str):
         self.name = name
 
-    def evaluate(self, database: Database) -> KRelation:
+    def _execute(self, database: Database) -> KRelation:
         return database.relation(self.name)
 
     def relation_names(self) -> frozenset[str]:
@@ -131,7 +156,7 @@ class EmptyRelation(Query):
     def __init__(self, schema: Schema | Iterable[str]):
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
 
-    def evaluate(self, database: Database) -> KRelation:
+    def _execute(self, database: Database) -> KRelation:
         return operators.empty(database.semiring, self.schema)
 
     def __str__(self) -> str:
@@ -144,7 +169,7 @@ class Union(Query):
     def __init__(self, left: Query, right: Query):
         self.left, self.right = left, right
 
-    def evaluate(self, database: Database) -> KRelation:
+    def _execute(self, database: Database) -> KRelation:
         return operators.union(self.left.evaluate(database), self.right.evaluate(database))
 
     def children(self) -> Sequence[Query]:
@@ -163,7 +188,7 @@ class Project(Query):
         if not self.attributes:
             raise QueryError("projection needs at least one attribute")
 
-    def evaluate(self, database: Database) -> KRelation:
+    def _execute(self, database: Database) -> KRelation:
         return operators.project(self.child.evaluate(database), self.attributes)
 
     def children(self) -> Sequence[Query]:
@@ -181,7 +206,7 @@ class Select(Query):
         self.predicate = predicate
         self.description = description or getattr(predicate, "__name__", "P")
 
-    def evaluate(self, database: Database) -> KRelation:
+    def _execute(self, database: Database) -> KRelation:
         return operators.select(self.child.evaluate(database), self.predicate)
 
     def children(self) -> Sequence[Query]:
@@ -197,7 +222,7 @@ class Join(Query):
     def __init__(self, left: Query, right: Query):
         self.left, self.right = left, right
 
-    def evaluate(self, database: Database) -> KRelation:
+    def _execute(self, database: Database) -> KRelation:
         return operators.join(self.left.evaluate(database), self.right.evaluate(database))
 
     def children(self) -> Sequence[Query]:
@@ -214,7 +239,7 @@ class Rename(Query):
         self.child = child
         self.mapping = dict(mapping)
 
-    def evaluate(self, database: Database) -> KRelation:
+    def _execute(self, database: Database) -> KRelation:
         return operators.rename(self.child.evaluate(database), self.mapping)
 
     def children(self) -> Sequence[Query]:

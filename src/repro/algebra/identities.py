@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence
 
 from repro.algebra import operators
-from repro.algebra.predicates import Predicate, false, true
+from repro.algebra.predicates import Predicate, as_predicate, false, true
 from repro.relations.krelation import KRelation
 from repro.semirings.properties import PropertyReport
 
@@ -117,12 +117,22 @@ def check_selection_projection_identities(
 def _predicate_mentions_only(
     predicate: Callable, attributes: Iterable[str], relation: KRelation
 ) -> bool:
-    """Heuristically decide whether a predicate only reads ``attributes``.
+    """Decide whether a predicate only reads ``attributes``.
 
-    The check evaluates the predicate on projected tuples and reports False
-    when that raises ``KeyError`` -- good enough for the equality predicates
-    used in the identity tests.
+    Structured predicates (:class:`repro.algebra.predicates.BasePredicate`)
+    expose their attribute set exactly, so the answer is a subset check --
+    independent of the relation's current contents and correct even for
+    predicates the old probing heuristic misjudged (short-circuiting
+    disjunctions, ``Tup.get``-style defaulted reads, empty supports).
+
+    Plain callables fall back to that heuristic: evaluate the predicate on
+    projected tuples and report False when that raises -- good enough for
+    simple equality predicates, but conservative by construction.
     """
+    structured = as_predicate(predicate)
+    attrs = structured.attributes
+    if attrs is not None:
+        return attrs <= set(attributes)
     kept = set(attributes)
     for tup in relation.support:
         try:

@@ -1,11 +1,26 @@
-"""Selection predicates for the positive algebra.
+"""Selection predicates for the positive algebra, as inspectable AST nodes.
 
 Definition 3.2 leaves open which ``{0, 1}``-valued functions may be used as
 selection predicates, requiring only that the constant predicates ``true``
 and ``false`` exist.  This module provides the standard repertoire --
 attribute/attribute and attribute/constant equality, comparisons, conjunction
-and disjunction -- each as a callable returning ``True``/``False`` (which the
-operators convert to the semiring's ``1``/``0``).
+and disjunction -- each as a *structured* predicate: a callable object that
+additionally exposes
+
+* :attr:`BasePredicate.attributes` -- exactly which attributes the predicate
+  reads (``None`` for opaque callables, which cannot be analyzed);
+* :meth:`BasePredicate.conjuncts` -- the CNF split (top-level conjunction
+  flattened into its parts);
+* :meth:`BasePredicate.rename` -- the same predicate over renamed attributes;
+* :meth:`BasePredicate.signature` -- a hashable structural key.
+
+The query planner (:mod:`repro.planner`) uses this structure to decide
+pushdown legality (a selection commutes with a projection exactly when its
+attributes are preserved) and to split conjunctions across the two sides of
+a join.  Plain Python callables keep working everywhere a predicate is
+accepted -- they are wrapped in :class:`OpaquePredicate` (or used as-is by
+the operators) and simply treated as unanalyzable, so no rewrite ever moves
+them.
 
 Note that *negation of predicates on values* is allowed (it does not involve
 the annotations), only the relational difference operator is excluded from
@@ -14,12 +29,24 @@ the positive algebra.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Mapping, Tuple
 
 from repro.relations.tuples import Tup
 
 __all__ = [
     "Predicate",
+    "BasePredicate",
+    "TruePredicate",
+    "FalsePredicate",
+    "AttrEquals",
+    "AttrEqualsConst",
+    "AttrNotEqualsConst",
+    "ComparisonPredicate",
+    "Conjunction",
+    "Disjunction",
+    "Negation",
+    "OpaquePredicate",
+    "as_predicate",
     "true",
     "false",
     "attr_eq",
@@ -31,93 +58,475 @@ __all__ = [
     "negation",
 ]
 
+#: The predicate *type*: anything callable on a tuple.  Structured predicates
+#: below are instances of :class:`BasePredicate`; plain callables remain valid.
 Predicate = Callable[[Tup], bool]
 
 
-def true(_: Tup) -> bool:
+def _const_key(value: Any) -> tuple:
+    """A signature component for a predicate's constant.
+
+    Compares by the constant's own equality (tagged with its type so ``2``
+    and ``2.0`` stay distinct); unhashable constants fall back to object
+    identity, which keeps signatures hashable and errs on the side of
+    *inequality* -- the safe direction for the planner's dedupe rewrites.
+    """
+    try:
+        hash(value)
+    except TypeError:
+        return ("unhashable", id(value))
+    return (type(value).__qualname__, value)
+
+
+class BasePredicate:
+    """A {0, 1}-valued selection predicate with an inspectable structure.
+
+    Instances are immutable, callable on :class:`~repro.relations.tuples.Tup`
+    objects, and compare/hash by :meth:`signature`, so two independently
+    built predicates with identical structure are equal.
+    """
+
+    __slots__ = ()
+
+    #: Mirrors ``function.__name__`` so structured and plain predicates can
+    #: be described uniformly (``getattr(p, "__name__", "P")``).
+    __name__ = "P"
+
+    def __call__(self, tup: Tup) -> bool:
+        raise NotImplementedError
+
+    @property
+    def attributes(self) -> frozenset[str] | None:
+        """The attributes the predicate reads, or ``None`` when unknown."""
+        return None
+
+    @property
+    def total(self) -> bool:
+        """Whether the predicate is defined on *every* tuple over its attributes.
+
+        Equality-based predicates are total (``==``/``!=`` never raise by
+        convention); ordering comparisons can raise on mixed-type values and
+        opaque callables are unknowable, so both report ``False``.  The
+        planner only moves a predicate onto tuples the original query never
+        evaluated it on (pushdown into one side of a join) when it is total.
+        """
+        return False
+
+    def conjuncts(self) -> Tuple["BasePredicate", ...]:
+        """The CNF split: the parts of a top-level conjunction, else ``(self,)``."""
+        return (self,)
+
+    def rename(self, mapping: Mapping[str, str]) -> "BasePredicate":
+        """The same predicate reading renamed attributes (old name -> new name)."""
+        raise NotImplementedError
+
+    def signature(self) -> tuple:
+        """A hashable structural key (used for plan fixpoints and equality)."""
+        raise NotImplementedError
+
+    # -- protocol ---------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BasePredicate):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:
+        return f"<predicate {self}>"
+
+    def __str__(self) -> str:
+        return self.__name__
+
+
+class TruePredicate(BasePredicate):
     """The constantly-true predicate (required by Definition 3.2)."""
-    return True
+
+    __slots__ = ()
+    __name__ = "true"
+
+    total = True
+
+    def __call__(self, _: Tup) -> bool:
+        return True
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> "TruePredicate":
+        return self
+
+    def signature(self) -> tuple:
+        return ("true",)
 
 
-def false(_: Tup) -> bool:
+class FalsePredicate(BasePredicate):
     """The constantly-false predicate (required by Definition 3.2)."""
-    return False
+
+    __slots__ = ()
+    __name__ = "false"
+
+    total = True
+
+    def __call__(self, _: Tup) -> bool:
+        return False
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> "FalsePredicate":
+        return self
+
+    def signature(self) -> tuple:
+        return ("false",)
 
 
-def attr_eq(left: str, right: str) -> Predicate:
+class AttrEquals(BasePredicate):
     """Equality of two attributes: ``t[left] == t[right]``."""
 
-    def predicate(tup: Tup) -> bool:
-        return tup[left] == tup[right]
+    __slots__ = ("left", "right", "__name__")
 
-    predicate.__name__ = f"eq_{left}_{right}"
-    return predicate
+    total = True
+
+    def __init__(self, left: str, right: str):
+        self.left = left
+        self.right = right
+        self.__name__ = f"eq_{left}_{right}"
+
+    def __call__(self, tup: Tup) -> bool:
+        return tup[self.left] == tup[self.right]
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+    def rename(self, mapping: Mapping[str, str]) -> "AttrEquals":
+        return AttrEquals(
+            mapping.get(self.left, self.left), mapping.get(self.right, self.right)
+        )
+
+    def signature(self) -> tuple:
+        return ("attr_eq",) + tuple(sorted((self.left, self.right)))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
 
 
-def attr_eq_const(attribute: str, constant: Any) -> Predicate:
+class AttrEqualsConst(BasePredicate):
     """Equality of an attribute with a constant: ``t[attribute] == constant``."""
 
-    def predicate(tup: Tup) -> bool:
-        return tup[attribute] == constant
+    __slots__ = ("attribute", "constant", "__name__")
 
-    predicate.__name__ = f"eq_{attribute}_const"
-    return predicate
+    total = True
+
+    def __init__(self, attribute: str, constant: Any):
+        self.attribute = attribute
+        self.constant = constant
+        self.__name__ = f"eq_{attribute}_const"
+
+    def __call__(self, tup: Tup) -> bool:
+        return tup[self.attribute] == self.constant
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def rename(self, mapping: Mapping[str, str]) -> "AttrEqualsConst":
+        return AttrEqualsConst(mapping.get(self.attribute, self.attribute), self.constant)
+
+    def signature(self) -> tuple:
+        return ("attr_eq_const", self.attribute, _const_key(self.constant))
+
+    def __str__(self) -> str:
+        return f"{self.attribute} = {self.constant!r}"
 
 
-def attr_neq_const(attribute: str, constant: Any) -> Predicate:
+class AttrNotEqualsConst(BasePredicate):
     """Disequality with a constant (a value-level predicate, still positive RA)."""
 
-    def predicate(tup: Tup) -> bool:
-        return tup[attribute] != constant
+    __slots__ = ("attribute", "constant", "__name__")
 
-    predicate.__name__ = f"neq_{attribute}_const"
-    return predicate
+    total = True
 
+    def __init__(self, attribute: str, constant: Any):
+        self.attribute = attribute
+        self.constant = constant
+        self.__name__ = f"neq_{attribute}_const"
 
-def comparison(attribute: str, operator: str, value: Any) -> Predicate:
-    """A comparison predicate ``t[attribute] <op> value`` for <, <=, >, >=, ==, !=."""
-    operators: dict[str, Callable[[Any, Any], bool]] = {
-        "<": lambda a, b: a < b,
-        "<=": lambda a, b: a <= b,
-        ">": lambda a, b: a > b,
-        ">=": lambda a, b: a >= b,
-        "==": lambda a, b: a == b,
-        "!=": lambda a, b: a != b,
-    }
-    compare = operators[operator]
+    def __call__(self, tup: Tup) -> bool:
+        return tup[self.attribute] != self.constant
 
-    def predicate(tup: Tup) -> bool:
-        return compare(tup[attribute], value)
+    @property
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
 
-    predicate.__name__ = f"cmp_{attribute}_{operator}"
-    return predicate
+    def rename(self, mapping: Mapping[str, str]) -> "AttrNotEqualsConst":
+        return AttrNotEqualsConst(
+            mapping.get(self.attribute, self.attribute), self.constant
+        )
 
+    def signature(self) -> tuple:
+        return ("attr_neq_const", self.attribute, _const_key(self.constant))
 
-def conjunction(*predicates: Predicate) -> Predicate:
-    """The conjunction of several predicates."""
-
-    def predicate(tup: Tup) -> bool:
-        return all(p(tup) for p in predicates)
-
-    predicate.__name__ = "conjunction"
-    return predicate
+    def __str__(self) -> str:
+        return f"{self.attribute} != {self.constant!r}"
 
 
-def disjunction(*predicates: Predicate) -> Predicate:
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class ComparisonPredicate(BasePredicate):
+    """A comparison ``t[attribute] <op> value`` for <, <=, >, >=, ==, !=."""
+
+    __slots__ = ("attribute", "operator", "value", "_compare", "__name__")
+
+    def __init__(self, attribute: str, operator: str, value: Any):
+        self._compare = _COMPARATORS[operator]  # KeyError for unknown operators
+        self.attribute = attribute
+        self.operator = operator
+        self.value = value
+        self.__name__ = f"cmp_{attribute}_{operator}"
+
+    def __call__(self, tup: Tup) -> bool:
+        return self._compare(tup[self.attribute], self.value)
+
+    @property
+    def total(self) -> bool:
+        # Ordering comparisons can raise TypeError on mixed-type values.
+        return self.operator in ("==", "!=")
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def rename(self, mapping: Mapping[str, str]) -> "ComparisonPredicate":
+        return ComparisonPredicate(
+            mapping.get(self.attribute, self.attribute), self.operator, self.value
+        )
+
+    def signature(self) -> tuple:
+        return ("comparison", self.attribute, self.operator, _const_key(self.value))
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.operator} {self.value!r}"
+
+
+def _combined_attributes(
+    parts: Iterable[BasePredicate],
+) -> frozenset[str] | None:
+    collected: set[str] = set()
+    for part in parts:
+        attrs = part.attributes
+        if attrs is None:
+            return None
+        collected |= attrs
+    return frozenset(collected)
+
+
+class Conjunction(BasePredicate):
+    """The conjunction of several predicates (flattened, CNF-splittable)."""
+
+    __slots__ = ("parts", "__name__")
+
+    def __init__(self, parts: Iterable[Predicate]):
+        flattened: list[BasePredicate] = []
+        for part in parts:
+            part = as_predicate(part)
+            if isinstance(part, Conjunction):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+        self.__name__ = "conjunction"
+
+    def __call__(self, tup: Tup) -> bool:
+        return all(part(tup) for part in self.parts)
+
+    @property
+    def attributes(self) -> frozenset[str] | None:
+        return _combined_attributes(self.parts)
+
+    @property
+    def total(self) -> bool:
+        return all(part.total for part in self.parts)
+
+    def conjuncts(self) -> Tuple[BasePredicate, ...]:
+        return self.parts if self.parts else (TruePredicate(),)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Conjunction":
+        return Conjunction(part.rename(mapping) for part in self.parts)
+
+    def signature(self) -> tuple:
+        # repr as the sort key: deterministic without requiring the parts'
+        # signature tuples (which may hold mixed-type constants) to compare.
+        return ("and",) + tuple(
+            sorted((part.signature() for part in self.parts), key=repr)
+        )
+
+    def __str__(self) -> str:
+        return " ∧ ".join(f"({part})" for part in self.parts) or "true"
+
+
+class Disjunction(BasePredicate):
     """The disjunction of several predicates."""
 
-    def predicate(tup: Tup) -> bool:
-        return any(p(tup) for p in predicates)
+    __slots__ = ("parts", "__name__")
 
-    predicate.__name__ = "disjunction"
-    return predicate
+    def __init__(self, parts: Iterable[Predicate]):
+        flattened: list[BasePredicate] = []
+        for part in parts:
+            part = as_predicate(part)
+            if isinstance(part, Disjunction):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts = tuple(flattened)
+        self.__name__ = "disjunction"
+
+    def __call__(self, tup: Tup) -> bool:
+        return any(part(tup) for part in self.parts)
+
+    @property
+    def attributes(self) -> frozenset[str] | None:
+        return _combined_attributes(self.parts)
+
+    @property
+    def total(self) -> bool:
+        return all(part.total for part in self.parts)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Disjunction":
+        return Disjunction(part.rename(mapping) for part in self.parts)
+
+    def signature(self) -> tuple:
+        return ("or",) + tuple(
+            sorted((part.signature() for part in self.parts), key=repr)
+        )
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({part})" for part in self.parts) or "false"
 
 
-def negation(inner: Predicate) -> Predicate:
+class Negation(BasePredicate):
     """The complement of a value-level predicate."""
 
-    def predicate(tup: Tup) -> bool:
-        return not inner(tup)
+    __slots__ = ("inner", "__name__")
 
-    predicate.__name__ = f"not_{getattr(inner, '__name__', 'predicate')}"
-    return predicate
+    def __init__(self, inner: Predicate):
+        self.inner = as_predicate(inner)
+        self.__name__ = f"not_{getattr(self.inner, '__name__', 'predicate')}"
+
+    def __call__(self, tup: Tup) -> bool:
+        return not self.inner(tup)
+
+    @property
+    def total(self) -> bool:
+        return self.inner.total
+
+    @property
+    def attributes(self) -> frozenset[str] | None:
+        return self.inner.attributes
+
+    def rename(self, mapping: Mapping[str, str]) -> "Negation":
+        return Negation(self.inner.rename(mapping))
+
+    def signature(self) -> tuple:
+        return ("not", self.inner.signature())
+
+    def __str__(self) -> str:
+        return f"¬({self.inner})"
+
+
+class OpaquePredicate(BasePredicate):
+    """A plain callable used as a predicate: valid, but unanalyzable.
+
+    The planner treats opaque predicates conservatively -- their attribute
+    set is unknown, so no rewrite ever commutes them past a projection, a
+    rename, or into one side of a join (pushdown through a union remains
+    legal for *any* predicate and is still applied).  Two opaque predicates
+    are equal only when they wrap the very same callable.
+    """
+
+    __slots__ = ("function", "__name__")
+
+    def __init__(self, function: Callable[[Tup], Any]):
+        self.function = function
+        self.__name__ = getattr(function, "__name__", "P")
+
+    def __call__(self, tup: Tup) -> Any:
+        return self.function(tup)
+
+    @property
+    def attributes(self) -> None:
+        return None
+
+    def rename(self, mapping: Mapping[str, str]) -> "OpaquePredicate":
+        raise TypeError(
+            f"opaque predicate {self.__name__!r} cannot be renamed; "
+            "its attribute dependencies are unknown"
+        )
+
+    def signature(self) -> tuple:
+        return ("opaque", id(self.function))
+
+
+def as_predicate(predicate: Predicate) -> BasePredicate:
+    """Wrap a plain callable as an :class:`OpaquePredicate` (no-op when structured)."""
+    if isinstance(predicate, BasePredicate):
+        return predicate
+    return OpaquePredicate(predicate)
+
+
+# ---------------------------------------------------------------------------
+# Factory functions (the stable public API; all previously returned closures)
+# ---------------------------------------------------------------------------
+
+#: The constantly-true predicate (required by Definition 3.2).
+true = TruePredicate()
+
+#: The constantly-false predicate (required by Definition 3.2).
+false = FalsePredicate()
+
+
+def attr_eq(left: str, right: str) -> AttrEquals:
+    """Equality of two attributes: ``t[left] == t[right]``."""
+    return AttrEquals(left, right)
+
+
+def attr_eq_const(attribute: str, constant: Any) -> AttrEqualsConst:
+    """Equality of an attribute with a constant: ``t[attribute] == constant``."""
+    return AttrEqualsConst(attribute, constant)
+
+
+def attr_neq_const(attribute: str, constant: Any) -> AttrNotEqualsConst:
+    """Disequality with a constant (a value-level predicate, still positive RA)."""
+    return AttrNotEqualsConst(attribute, constant)
+
+
+def comparison(attribute: str, operator: str, value: Any) -> ComparisonPredicate:
+    """A comparison predicate ``t[attribute] <op> value`` for <, <=, >, >=, ==, !=."""
+    return ComparisonPredicate(attribute, operator, value)
+
+
+def conjunction(*predicates: Predicate) -> Conjunction:
+    """The conjunction of several predicates."""
+    return Conjunction(predicates)
+
+
+def disjunction(*predicates: Predicate) -> Disjunction:
+    """The disjunction of several predicates."""
+    return Disjunction(predicates)
+
+
+def negation(inner: Predicate) -> Negation:
+    """The complement of a value-level predicate."""
+    return Negation(inner)

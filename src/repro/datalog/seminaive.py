@@ -148,14 +148,28 @@ class _Plan:
         self.body_predicates = body_predicates  # original body order
 
 
-def _compile_plan(rule: Rule, rule_index: int, driver_index: int) -> _Plan:
+def _compile_plan(
+    rule: Rule,
+    rule_index: int,
+    driver_index: int,
+    sizes: Dict[str, int] | None = None,
+) -> _Plan:
     """Compile ``rule`` with ``body[driver_index]`` as the iterated driver.
 
-    The remaining atoms are ordered greedily by how many of their positions
-    are determined (constants + already-bound variables) so index probes are
-    as selective as possible; the order, and with it every index key, is
-    fixed at compile time and reused for every round of every evaluation.
+    The remaining atoms are ordered greedily by estimated selectivity: first
+    by how many of their positions are determined (constants + already-bound
+    variables) so index probes are as selective as possible, then -- among
+    equally-bound candidates -- by the EDB cardinalities in ``sizes``, so
+    smaller relations are probed first and dead bindings are pruned before
+    the large relations are touched (predicates without statistics, i.e.
+    IDB stores whose eventual size is unknown, sort last).  The order, and
+    with it every index key, is fixed at compile time and reused for every
+    round of every evaluation.
     """
+    sizes = sizes or {}
+
+    def estimated_size(predicate: str) -> float:
+        return float(sizes.get(predicate, float("inf")))
     slots: Dict[str, int] = {}
     for variable in sorted(rule.variables, key=lambda v: v.name):
         slots[variable.name] = len(slots)
@@ -208,7 +222,14 @@ def _compile_plan(rule: Rule, rule_index: int, driver_index: int) -> _Plan:
     remaining = [i for i in range(len(rule.body)) if i != driver_index]
     steps: List[_AtomStep] = []
     while remaining:
-        best = max(remaining, key=lambda i: (determinable(i, bound), -i))
+        best = max(
+            remaining,
+            key=lambda i: (
+                determinable(i, bound),
+                -estimated_size(rule.body[i].relation),
+                -i,
+            ),
+        )
         remaining.remove(best)
         steps.append(build_step(best, bound))
         bound |= {v.name for v in rule.body[best].variables}
@@ -302,8 +323,13 @@ class _SemiNaiveEngine:
 
         idb = program.idb_predicates
         self.stores: Dict[str, _Store] = {}
+        # EDB cardinalities feed the selectivity-ordered join plans; IDB
+        # predicates are absent (their eventual size is unknown at compile
+        # time) and therefore sort last among equally-bound probe candidates.
+        sizes: Dict[str, int] = {}
         for predicate in program.edb_predicates:
             relation = database.relation(predicate)
+            sizes[predicate] = len(relation)
             if collect:
                 relation = relation.map_annotations(lambda _: True, self.semiring)
             self.stores[predicate] = _Store(relation)
@@ -325,22 +351,24 @@ class _SemiNaiveEngine:
                 i for i, atom in enumerate(rule.body) if atom.relation in idb
             ]
             if not idb_positions:
-                # Choose the seed driver greedily too: most constants first.
+                # Choose the seed driver greedily too: most constants first,
+                # then the smallest relation (fewest outer iterations).
                 driver = max(
                     range(len(rule.body)),
                     key=lambda i: (
                         sum(isinstance(t, Constant) for t in rule.body[i].terms),
+                        -float(sizes.get(rule.body[i].relation, float("inf"))),
                         -i,
                     ),
                 )
-                self.seed_plans.append(_compile_plan(rule, rule_index, driver))
+                self.seed_plans.append(_compile_plan(rule, rule_index, driver, sizes))
                 delta_positions = range(len(rule.body)) if maintain_edb else ()
             else:
                 delta_positions = (
                     range(len(rule.body)) if maintain_edb else idb_positions
                 )
             for position in delta_positions:
-                plan = _compile_plan(rule, rule_index, position)
+                plan = _compile_plan(rule, rule_index, position, sizes)
                 self.delta_plans[rule.body[position].relation].append(plan)
         for plan in self.seed_plans + [p for ps in self.delta_plans.values() for p in ps]:
             for step in plan.steps:

@@ -178,6 +178,14 @@ class MaterializedView:
         and the view in sync.
     name:
         Optional label used in ``repr``.
+    optimize:
+        Run ``query`` through the semiring-aware planner
+        (:func:`repro.planner.optimize`) before compiling the node tree.
+        The maintained relation is identical annotation-for-annotation --
+        the rewrites are exactly the Proposition 3.4 identities -- but both
+        the initial materialization and every delta propagation walk the
+        cheaper plan.  ``query`` keeps the original expression; the compiled
+        plan is available as :attr:`plan`.
 
     Usage::
 
@@ -190,11 +198,25 @@ class MaterializedView:
     support).
     """
 
-    def __init__(self, query: Query, database: Database, *, name: str = "view"):
+    def __init__(
+        self,
+        query: Query,
+        database: Database,
+        *,
+        name: str = "view",
+        optimize: bool = False,
+    ):
         self.query = query
         self.database = database
         self.name = name
-        self._root = _build(query, database)
+        if optimize:
+            from repro.planner import optimize as _optimize
+
+            #: The compiled plan (the optimized query when ``optimize=True``).
+            self.plan = _optimize(query, database)
+        else:
+            self.plan = query
+        self._root = _build(self.plan, database)
         #: ``"incremental"`` or ``"recompute"`` -- how the last :meth:`apply`
         #: ran (``None`` before the first apply).
         self.last_apply_mode: str | None = None
@@ -253,7 +275,7 @@ class MaterializedView:
 
     def refresh(self) -> KRelation:
         """Rebuild the whole view from the database (full recomputation)."""
-        self._root = _build(self.query, self.database)
+        self._root = _build(self.plan, self.database)
         return self._root.relation
 
     def __repr__(self) -> str:

@@ -1,0 +1,154 @@
+"""The ``optimize`` entry point: rewrite to fixpoint, then reorder joins.
+
+``optimize(query, database)`` returns a new :class:`~repro.algebra.ast.Query`
+that evaluates to the *same K-relation* as ``query`` on ``database`` (and on
+any database with the same schemas and a semiring with the same declared
+properties) -- annotation for annotation, over every commutative semiring.
+Only the output attribute *order* may differ (the named perspective is
+order-free; :meth:`KRelation.equal_to` compares attribute sets).
+
+The pipeline:
+
+1. :func:`~repro.planner.rewrites.rewrite_fixpoint` -- semiring-safe
+   algebraic rewrites (pushdowns, fusions, eliminations, and the
+   idempotence-gated deduplications) until the plan stops changing;
+2. :func:`~repro.planner.reorder.reorder_joins` -- greedy cost-based
+   reordering of every maximal join chain;
+3. one more rewrite pass to clean up opportunities the reorder exposed.
+
+``optimize`` is a fixpoint: optimizing an optimized plan returns a plan with
+the same signature (the regression suite asserts this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.ast import Query
+from repro.planner.cost import CostModel, Statistics
+from repro.planner.plans import catalog_of, infer_attributes, plan_signature
+from repro.planner.reorder import reorder_joins
+from repro.planner.rewrites import (
+    DEFAULT_MAX_PASSES,
+    RewriteContext,
+    rewrite_fixpoint,
+    semiring_profile,
+)
+from repro.relations.database import Database
+from repro.semirings.base import Semiring
+
+__all__ = ["optimize", "explain", "OptimizationReport"]
+
+
+def _context(
+    query: Query,
+    database: Database | None,
+    semiring: Semiring | None,
+    statistics: Statistics | None,
+    verify_properties: bool,
+) -> tuple[RewriteContext, CostModel]:
+    if semiring is None and database is not None:
+        semiring = database.semiring
+    if statistics is None and database is not None:
+        statistics = Statistics.from_database(database, query.relation_names())
+    catalog = catalog_of(database)
+    profile = semiring_profile(semiring, verify=verify_properties)
+    return RewriteContext(catalog=catalog, profile=profile), CostModel(statistics)
+
+
+def optimize(
+    query: Query,
+    database: Database | None = None,
+    *,
+    semiring: Semiring | None = None,
+    statistics: Statistics | None = None,
+    reorder: bool = True,
+    verify_properties: bool = False,
+    max_passes: int = DEFAULT_MAX_PASSES,
+) -> Query:
+    """Return an equivalent, cheaper plan for ``query``.
+
+    Parameters
+    ----------
+    query:
+        Any positive-algebra query (Definition 3.2 nodes).
+    database:
+        Supplies base-relation schemas (pushdown legality), statistics
+        (join ordering), and the semiring (idempotence-gated rewrites).
+        Optional: without it, schema-dependent rewrites simply skip and
+        reordering falls back to uniform estimates.
+    semiring, statistics:
+        Override (or supply, when ``database`` is absent) the rewrite gate
+        and the cost model inputs.
+    reorder:
+        Disable greedy join reordering (rewrites only) when ``False``.
+    verify_properties:
+        Re-check declared idempotence through
+        :mod:`repro.semirings.properties` before trusting it.
+    """
+    ctx, model = _context(query, database, semiring, statistics, verify_properties)
+    return _pipeline(query, ctx, model, reorder, max_passes)
+
+
+def _pipeline(
+    query: Query,
+    ctx: RewriteContext,
+    model: CostModel,
+    reorder: bool,
+    max_passes: int,
+) -> Query:
+    plan = rewrite_fixpoint(query, ctx, max_passes)
+    if reorder:
+        plan = reorder_joins(plan, model)
+        plan = rewrite_fixpoint(plan, ctx, max_passes)
+    return plan
+
+
+@dataclass
+class OptimizationReport:
+    """What :func:`explain` saw: the plans, the trace, and the estimates."""
+
+    original: Query
+    optimized: Query
+    applied_rules: list[str] = field(default_factory=list)
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return plan_signature(self.original) != plan_signature(self.optimized)
+
+    def __str__(self) -> str:
+        lines = [
+            f"original:  {self.original}",
+            f"optimized: {self.optimized}",
+            f"estimated cost: {self.cost_before:.1f} -> {self.cost_after:.1f}",
+        ]
+        if self.applied_rules:
+            lines.append("applied rules:")
+            lines.extend(f"  - {rule}" for rule in self.applied_rules)
+        else:
+            lines.append("applied rules: (none)")
+        return "\n".join(lines)
+
+
+def explain(
+    query: Query,
+    database: Database | None = None,
+    *,
+    semiring: Semiring | None = None,
+    statistics: Statistics | None = None,
+    reorder: bool = True,
+    verify_properties: bool = False,
+    max_passes: int = DEFAULT_MAX_PASSES,
+) -> OptimizationReport:
+    """Optimize ``query`` and report the applied rules and cost estimates."""
+    ctx, model = _context(query, database, semiring, statistics, verify_properties)
+    plan = _pipeline(query, ctx, model, reorder, max_passes)
+    return OptimizationReport(
+        original=query,
+        optimized=plan,
+        applied_rules=list(ctx.trace),
+        cost_before=model.cost(query),
+        cost_after=model.cost(plan),
+    )

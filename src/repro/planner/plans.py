@@ -1,0 +1,113 @@
+"""Plan-level inspection helpers: output schemas and structural signatures.
+
+The rewrite rules of :mod:`repro.planner.rewrites` need to know which
+attributes a subquery produces (pushdown legality) and when two subplans are
+structurally identical (idempotence-gated deduplication, fixpoint
+detection).  Both are pure functions of the query tree plus a catalog of
+base-relation schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.algebra.ast import (
+    EmptyRelation,
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.algebra.predicates import as_predicate
+from repro.errors import QueryError
+from repro.relations.database import Database
+
+__all__ = ["catalog_of", "infer_attributes", "plan_signature"]
+
+
+def catalog_of(database: Database | None) -> dict[str, tuple[str, ...]]:
+    """The base-relation schema catalog of ``database`` (empty when ``None``)."""
+    if database is None:
+        return {}
+    return {name: relation.schema.attributes for name, relation in database.items()}
+
+
+def infer_attributes(
+    query: Query, catalog: Mapping[str, Sequence[str]]
+) -> tuple[str, ...] | None:
+    """The output attributes of ``query``, or ``None`` when not inferable.
+
+    ``catalog`` maps base-relation names to their attribute tuples (see
+    :func:`catalog_of`).  A reference to a relation absent from the catalog
+    makes the whole subtree uninferable; schema-dependent rewrites then
+    simply skip it.
+    """
+    if isinstance(query, RelationRef):
+        attrs = catalog.get(query.name)
+        return tuple(attrs) if attrs is not None else None
+    if isinstance(query, EmptyRelation):
+        return query.schema.attributes
+    if isinstance(query, Project):
+        return tuple(query.attributes)
+    if isinstance(query, (Select,)):
+        return infer_attributes(query.child, catalog)
+    if isinstance(query, Rename):
+        child = infer_attributes(query.child, catalog)
+        if child is None:
+            return None
+        return tuple(query.mapping.get(a, a) for a in child)
+    if isinstance(query, Union):
+        # Both sides are union-compatible; the left side fixes display order.
+        left = infer_attributes(query.left, catalog)
+        if left is not None:
+            return left
+        return infer_attributes(query.right, catalog)
+    if isinstance(query, Join):
+        left = infer_attributes(query.left, catalog)
+        right = infer_attributes(query.right, catalog)
+        if left is None or right is None:
+            return None
+        return left + tuple(a for a in right if a not in left)
+    raise QueryError(
+        f"cannot infer the schema of query node {type(query).__name__}; "
+        "the planner covers the positive algebra of Definition 3.2"
+    )
+
+
+def plan_signature(query: Query) -> tuple:
+    """A hashable structural key for a query plan.
+
+    Two plans with equal signatures evaluate identically on every database:
+    the signature captures the operator tree, projection/rename attribute
+    lists, and predicate structure (opaque predicates compare by the wrapped
+    callable's identity, so distinct-but-equal lambdas are conservatively
+    unequal).
+    """
+    if isinstance(query, RelationRef):
+        return ("rel", query.name)
+    if isinstance(query, EmptyRelation):
+        return ("empty", tuple(sorted(query.schema.attributes)))
+    if isinstance(query, Union):
+        return ("union", plan_signature(query.left), plan_signature(query.right))
+    if isinstance(query, Join):
+        return ("join", plan_signature(query.left), plan_signature(query.right))
+    if isinstance(query, Project):
+        return ("project", tuple(query.attributes), plan_signature(query.child))
+    if isinstance(query, Rename):
+        return (
+            "rename",
+            tuple(sorted(query.mapping.items())),
+            plan_signature(query.child),
+        )
+    if isinstance(query, Select):
+        return (
+            "select",
+            as_predicate(query.predicate).signature(),
+            plan_signature(query.child),
+        )
+    raise QueryError(
+        f"cannot compute a plan signature for query node {type(query).__name__}"
+    )

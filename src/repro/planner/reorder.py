@@ -1,0 +1,85 @@
+"""Greedy join reordering over flattened join trees.
+
+Join commutativity and associativity hold in every commutative semiring
+(Proposition 3.4), so any re-bracketing of a chain of natural joins computes
+the same K-relation.  This module flattens maximal ``Join`` subtrees into
+their non-join leaves, estimates each leaf with the cost model, and rebuilds
+a left-deep tree greedily:
+
+1. start from the smallest-cardinality leaf;
+2. repeatedly attach the leaf that minimizes the estimated cardinality of
+   the next intermediate result, preferring leaves that share attributes
+   with the tree built so far (connected joins before cross products).
+
+Ties break on the leaf's position in the original tree, which makes the
+ordering deterministic and -- because the greedy choice depends only on the
+leaf *set* -- idempotent: reordering an already-reordered tree reproduces it,
+so ``optimize`` is a no-op fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.algebra.ast import Join, Project, Query, Rename, Select, Union
+from repro.planner.cost import CostModel, Estimate
+
+__all__ = ["reorder_joins"]
+
+
+def _flatten(query: Query, leaves: List[Query]) -> None:
+    if isinstance(query, Join):
+        _flatten(query.left, leaves)
+        _flatten(query.right, leaves)
+    else:
+        leaves.append(query)
+
+
+def _reorder_leaves(
+    leaves: List[Tuple[Query, Estimate]], model: CostModel
+) -> List[Query]:
+    remaining = list(enumerate(leaves))
+    # Seed: smallest estimated leaf (position breaks ties deterministically).
+    start = min(remaining, key=lambda item: (item[1][1].cardinality, item[0]))
+    remaining.remove(start)
+    order = [start[1][0]]
+    current = start[1][1]
+    while remaining:
+        scored = []
+        for position, (leaf, estimate) in remaining:
+            joined = model.join_estimate(current, estimate)
+            connected = bool(current.attributes & estimate.attributes)
+            scored.append(((not connected, joined.cardinality, position), position, joined))
+        best_key, best_position, best_joined = min(scored, key=lambda item: item[0])
+        chosen = next(item for item in remaining if item[0] == best_position)
+        remaining.remove(chosen)
+        order.append(chosen[1][0])
+        current = best_joined
+    return order
+
+
+def reorder_joins(query: Query, model: CostModel) -> Query:
+    """Reorder every maximal join chain in ``query`` greedily by cost."""
+    if isinstance(query, Join):
+        leaves: List[Query] = []
+        _flatten(query, leaves)
+        reordered = [reorder_joins(leaf, model) for leaf in leaves]
+        estimated = [(leaf, model.estimate(leaf)) for leaf in reordered]
+        ordered = _reorder_leaves(estimated, model)
+        tree = ordered[0]
+        for leaf in ordered[1:]:
+            tree = Join(tree, leaf)
+        return tree
+    if isinstance(query, Union):
+        return Union(reorder_joins(query.left, model), reorder_joins(query.right, model))
+    if isinstance(query, Project):
+        return Project(reorder_joins(query.child, model), query.attributes)
+    if isinstance(query, Select):
+        return Select(
+            reorder_joins(query.child, model),
+            query.predicate,
+            description=query.description,
+        )
+    if isinstance(query, Rename):
+        return Rename(reorder_joins(query.child, model), query.mapping)
+    return query

@@ -72,6 +72,63 @@ def test_self_join_idempotence_fails_for_bags():
     assert squared.annotation(("x",)) == 4
 
 
+class TestPredicateMentionsOnly:
+    """The attr-scoping check behind the σ/π commutation identity.
+
+    Structured predicates are now scoped *exactly* from their attribute
+    sets; the old probe-the-support heuristic remains only as a fallback
+    for opaque callables.  These tests cover the cases the heuristic got
+    wrong or could not see.
+    """
+
+    @staticmethod
+    def _mentions_only(predicate, attributes, relation):
+        from repro.algebra.identities import _predicate_mentions_only
+
+        return _predicate_mentions_only(predicate, attributes, relation)
+
+    def test_exact_scoping_for_structured_predicates(self):
+        r = KRelation(NaturalsSemiring(), ["a", "b"], [(("x", "y"), 1)])
+        assert self._mentions_only(predicates.attr_eq_const("a", "x"), ["a"], r)
+        assert not self._mentions_only(predicates.attr_eq("a", "b"), ["a"], r)
+        assert self._mentions_only(predicates.attr_eq("a", "b"), ["a", "b"], r)
+
+    def test_short_circuiting_disjunction_no_longer_fools_the_check(self):
+        # any() returns before touching "b", so probing the projected tuple
+        # never raised and the heuristic wrongly said "mentions only {a}".
+        tricky = predicates.disjunction(
+            predicates.true, predicates.attr_eq_const("b", "y")
+        )
+        r = KRelation(NaturalsSemiring(), ["a", "b"], [(("x", "y"), 1)])
+        assert not self._mentions_only(tricky, ["a"], r)
+
+    def test_empty_support_no_longer_vacuously_passes(self):
+        # With nothing to probe, the heuristic answered True for *any*
+        # predicate; the structural answer does not depend on the data.
+        empty = KRelation(NaturalsSemiring(), ["a", "b"])
+        assert not self._mentions_only(predicates.attr_eq_const("b", "y"), ["a"], empty)
+        assert self._mentions_only(predicates.attr_eq_const("a", "x"), ["a"], empty)
+
+    def test_opaque_callables_keep_the_conservative_fallback(self):
+        r = KRelation(NaturalsSemiring(), ["a", "b"], [(("x", "y"), 1)])
+        assert self._mentions_only(lambda t: t["a"] == "x", ["a"], r)
+        assert not self._mentions_only(lambda t: t["b"] == "y", ["a"], r)
+
+    def test_selection_projection_identities_with_compound_predicates(self):
+        # Structured conjunctions/negations are now admissible to the
+        # commutation check; the identity must actually hold when scoped.
+        r1 = random_relation(NaturalsSemiring(), ["a", "b"], num_tuples=5, domain_size=3, seed=11)
+        r2 = random_relation(NaturalsSemiring(), ["a", "b"], num_tuples=5, domain_size=3, seed=12)
+        compound = predicates.conjunction(
+            predicates.attr_eq_const("a", "v0"),
+            predicates.negation(predicates.attr_eq_const("a", "v2")),
+        )
+        report = check_selection_projection_identities(
+            r1, r2, predicates=[compound], projection_attributes=["a"]
+        )
+        assert report.ok, report.violations
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10_000),

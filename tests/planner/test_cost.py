@@ -1,0 +1,119 @@
+"""Cost model units: statistics collection, selectivity, monotonicity, reorder."""
+
+from __future__ import annotations
+
+from repro import Database, NaturalsSemiring, Q
+from repro.algebra import predicates
+from repro.algebra.ast import Join
+from repro.planner import CostModel, Statistics, optimize
+from repro.planner.cost import DEFAULT_SELECTIVITY
+
+
+def _database(r_tuples=4):
+    database = Database(NaturalsSemiring())
+    database.create(
+        "R",
+        ["a", "b"],
+        [((str(i), str(i % 2)), 1) for i in range(r_tuples)],
+    )
+    database.create("S", ["b", "c"], [(("0", "x"), 1), (("1", "y"), 1)])
+    return database
+
+
+def test_statistics_collects_cardinality_and_distinct_counts():
+    stats = Statistics.from_database(_database())
+    r = stats.table("R")
+    assert r.cardinality == 4
+    assert r.distinct == {"a": 4, "b": 2}
+    assert stats.table("missing") is None
+
+
+def test_selectivity_formulas():
+    stats = Statistics.from_database(_database())
+    model = CostModel(stats)
+    child = model.estimate(Q.relation("R"))
+    assert model.selectivity(predicates.true, child) == 1.0
+    assert model.selectivity(predicates.false, child) == 0.0
+    assert model.selectivity(predicates.attr_eq_const("a", "1"), child) == 0.25
+    assert model.selectivity(predicates.attr_eq_const("b", "1"), child) == 0.5
+    # attribute = attribute divides by the larger distinct count
+    assert model.selectivity(predicates.attr_eq("a", "b"), child) == 0.25
+    # conjunctions multiply, negation complements
+    conj = predicates.conjunction(
+        predicates.attr_eq_const("a", "1"), predicates.attr_eq_const("b", "1")
+    )
+    assert model.selectivity(conj, child) == 0.125
+    neg = predicates.negation(predicates.attr_eq_const("a", "1"))
+    assert model.selectivity(neg, child) == 0.75
+    # opaque callables get the fixed default
+    assert model.selectivity(lambda t: True, child) == DEFAULT_SELECTIVITY
+
+
+def test_cardinality_estimates_shrink_under_selection_and_join():
+    model = CostModel(Statistics.from_database(_database()))
+    base = model.cardinality(Q.relation("R"))
+    selected = model.cardinality(Q.relation("R").where_eq("a", "1"))
+    assert selected < base
+    cross = model.cardinality(Q.relation("R").join(Q.relation("S").rename({"b": "e"})))
+    natural = model.cardinality(Q.relation("R").join(Q.relation("S")))
+    assert natural < cross  # the shared attribute divides the cross product
+
+
+def test_cost_is_monotone_in_relation_size():
+    query = Q.relation("R").join(Q.relation("S")).project("a", "c")
+    small = CostModel(Statistics.from_database(_database(4)))
+    large = CostModel(Statistics.from_database(_database(40)))
+    assert small.cost(query) < large.cost(query)
+
+
+def test_cost_prefers_the_pushed_down_plan():
+    database = _database(40)
+    model = CostModel(Statistics.from_database(database))
+    unpushed = Q.relation("R").join(Q.relation("S")).where_eq("a", "1")
+    pushed = Q.relation("R").where_eq("a", "1").join(Q.relation("S"))
+    assert model.cost(pushed) < model.cost(unpushed)
+
+
+def test_reorder_starts_left_deep_from_the_smallest_leaf():
+    database = Database(NaturalsSemiring())
+    database.create("Big", ["a", "b"], [((str(i), str(i)), 1) for i in range(50)])
+    database.create("Mid", ["b", "c"], [((str(i), str(i)), 1) for i in range(10)])
+    database.create("Tiny", ["c", "d"], [(("1", "1"), 1), (("2", "2"), 1)])
+    query = Q.relation("Big").join(Q.relation("Mid")).join(Q.relation("Tiny"))
+    plan = optimize(query, database)
+    assert isinstance(plan, Join)
+    assert isinstance(plan.left, Join)
+    # Left-deep, seeded at Tiny, then its neighbour Mid, then Big.
+    assert plan.left.left.name == "Tiny"
+    assert plan.left.right.name == "Mid"
+    assert plan.right.name == "Big"
+    assert plan.evaluate(database).equal_to(query.evaluate(database))
+
+
+def test_reorder_prefers_connected_joins_over_cross_products():
+    database = Database(NaturalsSemiring())
+    database.create("R", ["a", "b"], [((str(i), str(i)), 1) for i in range(8)])
+    database.create("S", ["b", "c"], [((str(i), str(i)), 1) for i in range(9)])
+    database.create("U", ["z"], [(("1",), 1), (("2",), 1)])
+    # As written: (R ⋈ U) is a cross product taken first.
+    query = Q.relation("R").join(Q.relation("U")).join(Q.relation("S"))
+    plan = optimize(query, database)
+    assert isinstance(plan.left, Join)
+
+    def cross_products(node, catalog):
+        from repro.planner import infer_attributes
+
+        if not isinstance(node, Join):
+            return 0
+        left = set(infer_attributes(node.left, catalog) or ())
+        right = set(infer_attributes(node.right, catalog) or ())
+        own = 0 if (left & right) else 1
+        return own + cross_products(node.left, catalog) + cross_products(node.right, catalog)
+
+    from repro.planner import catalog_of
+
+    catalog = catalog_of(database)
+    # As written the plan crosses R with U first; the reordered plan joins
+    # the connected R ⋈ S chain before crossing with the disconnected U.
+    assert cross_products(plan, catalog) <= cross_products(query, catalog)
+    assert plan.evaluate(database).equal_to(query.evaluate(database))

@@ -1,0 +1,168 @@
+"""Structured-predicate units: attribute scoping, CNF splitting, renaming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import predicates
+from repro.algebra.predicates import (
+    AttrEquals,
+    BasePredicate,
+    Conjunction,
+    OpaquePredicate,
+    as_predicate,
+)
+from repro.relations.tuples import Tup
+
+
+def test_every_factory_reports_exact_attributes():
+    assert predicates.true.attributes == frozenset()
+    assert predicates.false.attributes == frozenset()
+    assert predicates.attr_eq("a", "b").attributes == {"a", "b"}
+    assert predicates.attr_eq_const("a", 1).attributes == {"a"}
+    assert predicates.attr_neq_const("b", 1).attributes == {"b"}
+    assert predicates.comparison("c", "<", 5).attributes == {"c"}
+    assert predicates.negation(predicates.attr_eq_const("a", 1)).attributes == {"a"}
+    combined = predicates.conjunction(
+        predicates.attr_eq_const("a", 1), predicates.attr_eq("b", "c")
+    )
+    assert combined.attributes == {"a", "b", "c"}
+    either = predicates.disjunction(
+        predicates.attr_eq_const("a", 1), predicates.attr_eq_const("d", 2)
+    )
+    assert either.attributes == {"a", "d"}
+
+
+def test_opaque_callables_have_unknown_attributes():
+    wrapped = as_predicate(lambda t: t["a"] == 1)
+    assert isinstance(wrapped, OpaquePredicate)
+    assert wrapped.attributes is None
+    assert wrapped(Tup(a=1))
+    # conjunction with an opaque part is itself unanalyzable
+    mixed = predicates.conjunction(predicates.attr_eq_const("a", 1), lambda t: True)
+    assert mixed.attributes is None
+    with pytest.raises(TypeError):
+        wrapped.rename({"a": "b"})
+
+
+def test_as_predicate_is_identity_on_structured_predicates():
+    predicate = predicates.attr_eq("a", "b")
+    assert as_predicate(predicate) is predicate
+
+
+def test_conjunction_flattens_for_cnf_splitting():
+    nested = predicates.conjunction(
+        predicates.conjunction(
+            predicates.attr_eq_const("a", 1), predicates.attr_eq_const("b", 2)
+        ),
+        predicates.attr_eq_const("c", 3),
+    )
+    parts = nested.conjuncts()
+    assert len(parts) == 3
+    assert all(not isinstance(p, Conjunction) for p in parts)
+    assert {next(iter(p.attributes)) for p in parts} == {"a", "b", "c"}
+    # non-conjunctions split into themselves
+    single = predicates.attr_eq_const("a", 1)
+    assert single.conjuncts() == (single,)
+
+
+def test_predicates_evaluate_like_their_semantics():
+    t = Tup(a=1, b=1, c=5)
+    assert predicates.true(t) and not predicates.false(t)
+    assert predicates.attr_eq("a", "b")(t)
+    assert not predicates.attr_eq("a", "c")(t)
+    assert predicates.attr_eq_const("c", 5)(t)
+    assert predicates.attr_neq_const("c", 6)(t)
+    assert predicates.comparison("c", ">=", 5)(t)
+    assert not predicates.comparison("c", "<", 5)(t)
+    assert predicates.conjunction(
+        predicates.attr_eq("a", "b"), predicates.attr_eq_const("c", 5)
+    )(t)
+    assert predicates.disjunction(
+        predicates.false, predicates.attr_eq_const("a", 1)
+    )(t)
+    assert predicates.negation(predicates.attr_eq_const("a", 2))(t)
+
+
+def test_rename_rewrites_attribute_references():
+    renamed = predicates.attr_eq("a", "b").rename({"a": "x"})
+    assert isinstance(renamed, AttrEquals)
+    assert renamed.attributes == {"x", "b"}
+    assert renamed(Tup(x=1, b=1))
+    compound = predicates.conjunction(
+        predicates.attr_eq_const("a", 1), predicates.comparison("b", "<", 9)
+    ).rename({"a": "u", "b": "v"})
+    assert compound.attributes == {"u", "v"}
+    assert compound(Tup(u=1, v=3))
+
+
+def test_signatures_give_structural_equality_and_hashing():
+    p = predicates.conjunction(
+        predicates.attr_eq_const("a", 1), predicates.attr_eq_const("b", 2)
+    )
+    q = predicates.conjunction(
+        predicates.attr_eq_const("b", 2), predicates.attr_eq_const("a", 1)
+    )
+    assert p == q  # conjunction signatures are order-insensitive
+    assert hash(p) == hash(q)
+    assert p != predicates.attr_eq_const("a", 1)
+    # opaque predicates compare by wrapped-callable identity
+    fn = lambda t: True  # noqa: E731
+    assert as_predicate(fn) == as_predicate(fn)
+    assert as_predicate(fn) != as_predicate(lambda t: True)
+
+
+def test_predicate_names_stay_descriptive():
+    assert predicates.attr_eq("a", "b").__name__ == "eq_a_b"
+    assert predicates.comparison("c", "<", 5).__name__ == "cmp_c_<"
+    assert getattr(predicates.true, "__name__") == "true"
+    assert isinstance(predicates.true, BasePredicate)
+
+
+def test_totality_classification():
+    assert predicates.true.total and predicates.false.total
+    assert predicates.attr_eq("a", "b").total
+    assert predicates.attr_eq_const("a", 1).total
+    assert predicates.attr_neq_const("a", 1).total
+    assert predicates.comparison("a", "==", 1).total
+    assert predicates.comparison("a", "!=", 1).total
+    assert not predicates.comparison("a", "<", 1).total  # may raise on mixed types
+    assert not as_predicate(lambda t: True).total
+    assert predicates.conjunction(
+        predicates.attr_eq_const("a", 1), predicates.attr_eq("b", "c")
+    ).total
+    assert not predicates.conjunction(
+        predicates.attr_eq_const("a", 1), predicates.comparison("b", "<", 2)
+    ).total
+    assert predicates.negation(predicates.attr_eq_const("a", 1)).total
+    assert not predicates.negation(predicates.comparison("a", ">", 1)).total
+
+
+def test_signatures_distinguish_constants_by_value_not_repr():
+    class Opaque:
+        def __repr__(self):
+            return "same"
+
+    c1, c2 = Opaque(), Opaque()
+    assert repr(c1) == repr(c2)
+    assert predicates.attr_eq_const("a", c1) != predicates.attr_eq_const("a", c2)
+    assert predicates.attr_eq_const("a", 2) != predicates.attr_eq_const("a", 2.0)
+    assert predicates.attr_eq_const("a", 2) == predicates.attr_eq_const("a", 2)
+    # unhashable constants fall back to identity (still hashable signatures)
+    lst = [1, 2]
+    p = predicates.attr_eq_const("a", lst)
+    assert p == predicates.attr_eq_const("a", lst)
+    assert p != predicates.attr_eq_const("a", [1, 2])
+    hash(p)
+    # conjunction signatures stay sortable with mixed-type constants
+    mixed = predicates.conjunction(
+        predicates.attr_eq_const("a", 1), predicates.attr_eq_const("b", "x")
+    )
+    assert mixed == predicates.conjunction(
+        predicates.attr_eq_const("b", "x"), predicates.attr_eq_const("a", 1)
+    )
+
+
+def test_unknown_comparison_operator_raises():
+    with pytest.raises(KeyError):
+        predicates.comparison("a", "~", 1)

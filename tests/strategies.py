@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.algebra import predicates
 from repro.algebra.ast import Q
 from repro.datalog import Program, Rule
 from repro.logic import Atom, Constant, Variable
@@ -38,6 +39,7 @@ __all__ = [
     "DOMAIN",
     "REGISTRY_SEMIRING_NAMES",
     "VIEW_SEMIRING_NAMES",
+    "PLANNER_SEMIRING_NAMES",
     "BASE_SCHEMAS",
     "annotation_for",
     "random_annotation",
@@ -60,6 +62,10 @@ REGISTRY_SEMIRING_NAMES = ("bag", "bool", "tropical", "posbool", "nx", "circuit"
 #: Registry names of the semirings the incremental-view differential harness
 #: runs over (insertions everywhere; deletions where ``has_negation``).
 VIEW_SEMIRING_NAMES = ("bag", "bool", "tropical", "posbool", "z", "zx")
+
+#: Registry names the plan-equivalence harness checks optimized evaluation
+#: over (the ISSUE's list: N, B, Tropical, PosBool, Z, N[X], circuits).
+PLANNER_SEMIRING_NAMES = ("bag", "bool", "tropical", "posbool", "z", "nx", "circuit")
 
 #: Base relations (and their named-perspective schemas) the random RA
 #: expression strategy draws from.
@@ -243,6 +249,20 @@ def programs_with_databases(draw, semiring_name: str):
 _RENAME_POOL = ("u", "v", "w")
 
 
+def _opaque_predicate(attribute: str, value: str):
+    """A deterministic *plain-callable* predicate (no structure exposed).
+
+    Exercises the planner's opaque fallback: these predicates must never be
+    pushed past projections/renames or into join sides, only through unions.
+    """
+
+    def predicate(tup):
+        return tup[attribute] == value
+
+    predicate.__name__ = f"opaque_eq_{attribute}_{value}"
+    return predicate
+
+
 @st.composite
 def ra_queries(draw, max_depth: int = 3):
     """A random positive-algebra query over ``BASE_SCHEMAS``.
@@ -281,6 +301,25 @@ def ra_queries(draw, max_depth: int = 3):
             query, schema = build(depth - 1)
             attribute = draw(st.sampled_from(sorted(schema)))
             value = draw(st.sampled_from(DOMAIN))
+            flavor = draw(st.integers(min_value=0, max_value=5))
+            if flavor == 0 and len(schema) >= 2:
+                other = draw(st.sampled_from(sorted(set(schema) - {attribute})))
+                return query.where_attrs_equal(attribute, other), schema
+            if flavor == 1:
+                return query.select(predicates.attr_neq_const(attribute, value)), schema
+            if flavor == 2:
+                op = draw(st.sampled_from(("<", "<=", ">", ">=")))
+                return query.select(predicates.comparison(attribute, op, value)), schema
+            if flavor == 3:
+                second = draw(st.sampled_from(sorted(schema)))
+                other_value = draw(st.sampled_from(DOMAIN))
+                combined = predicates.conjunction(
+                    predicates.attr_eq_const(attribute, value),
+                    predicates.attr_neq_const(second, other_value),
+                )
+                return query.select(combined, description=str(combined)), schema
+            if flavor == 4:
+                return query.select(_opaque_predicate(attribute, value)), schema
             return query.where_eq(attribute, value), schema
         if kind == "rename":
             query, schema = build(depth - 1)
