@@ -14,7 +14,7 @@ or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_incremental.
 
 import time
 
-from conftest import report
+from conftest import check_speedup, report
 
 from repro.algebra.ast import Q
 from repro.datalog import evaluate_program
@@ -160,9 +160,8 @@ def test_incremental_beats_recompute_on_largest_instance():
     semiring, fact_tuples, batches, deletes = RA_INSTANCES[-1]
     record = _ra_record(semiring, fact_tuples, batches, deletes)
     report("S5: incremental vs recompute (largest update-stream instance)", _lines(record))
-    assert _speedup(record) >= 5.0, (
-        f"expected a >=5x incremental win on the largest update-stream "
-        f"instance, got {_speedup(record):.2f}x"
+    check_speedup(
+        _speedup(record), 5.0, "incremental win on the largest update-stream instance"
     )
 
 
@@ -177,7 +176,9 @@ def main() -> None:
             print(line)
     largest = records[len(RA_INSTANCES) - 1]
     print(f"\nlargest-instance incremental win: {_speedup(largest):.1f}x (need >= 5x)")
-    assert _speedup(largest) >= 5.0
+    check_speedup(
+        _speedup(largest), 5.0, "incremental win on the largest update-stream instance"
+    )
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_planner.py``
 
 import time
 
-from conftest import report
+from conftest import check_speedup, report
 
 from repro.algebra.ast import Q
 from repro.planner import optimize
@@ -108,10 +108,7 @@ def test_planner_beats_as_written_on_largest_instance():
     semiring, facts, domain = INSTANCES[-1]
     record = _record(semiring, facts, domain)
     report("S6: planner vs as-written (largest scaling instance)", _lines(record))
-    assert _speedup(record) >= 3.0, (
-        f"expected a >=3x planner win on the largest instance, "
-        f"got {_speedup(record):.2f}x"
-    )
+    check_speedup(_speedup(record), 3.0, "planner win on the largest instance")
 
 
 def main() -> None:
@@ -123,7 +120,7 @@ def main() -> None:
             print(line)
     print(f"\noptimized plan: {records[-1]['plan']}")
     print(f"largest-instance planner win: {_speedup(records[-1]):.1f}x (need >= 3x)")
-    assert _speedup(records[-1]) >= 3.0
+    check_speedup(_speedup(records[-1]), 3.0, "planner win on the largest instance")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_seminaive.py
 
 import time
 
-from conftest import report
+from conftest import check_speedup, report
 
 from repro.datalog import evaluate_program
 from repro.semirings import (
@@ -90,10 +90,7 @@ def test_seminaive_beats_naive_on_largest_instance():
     semiring, nodes = INSTANCES[-1]
     record = _record(semiring, nodes)
     report("S4: semi-naive vs naive (largest scaling instance)", _lines(record))
-    assert _speedup(record) >= 5.0, (
-        f"expected a >=5x semi-naive win on the largest instance, "
-        f"got {_speedup(record):.2f}x"
-    )
+    check_speedup(_speedup(record), 5.0, "semi-naive win on the largest instance")
 
 
 def main() -> None:
@@ -103,7 +100,7 @@ def main() -> None:
             print(line)
     largest = records[-1]
     print(f"\nlargest-instance semi-naive win: {_speedup(largest):.1f}x (need >= 5x)")
-    assert _speedup(largest) >= 5.0
+    check_speedup(_speedup(largest), 5.0, "semi-naive win on the largest instance")
 
 
 if __name__ == "__main__":

@@ -4,11 +4,40 @@ Every ``bench_figN_*.py`` regenerates the corresponding figure of the paper:
 the benchmarked callable returns the reproduced rows, which are printed once
 (per benchmark) in the same shape the paper reports, and asserted against the
 expected values so a benchmark run doubles as a reproduction check.
+
+Speedup thresholds
+------------------
+The performance benchmarks assert absolute speedup floors (>=3x planner,
+>=5x circuits/semi-naive/incremental, >=3x engine).  Wall-clock ratios flake
+on loaded shared runners, so the *hard* assertions are gated behind
+``REPRO_BENCH_STRICT=1`` -- set in CI's dedicated bench job, where the
+machine is quiet -- and degrade to a loud warning everywhere else
+(:func:`check_speedup`).  Correctness cross-checks inside the benchmarks
+always assert.
 """
 
 from __future__ import annotations
 
+import os
+
 _printed: set[str] = set()
+
+
+def strict_benchmarks() -> bool:
+    """Whether speedup floors are hard assertions (``REPRO_BENCH_STRICT=1``)."""
+    return os.environ.get("REPRO_BENCH_STRICT") == "1"
+
+
+def check_speedup(actual: float, required: float, label: str) -> None:
+    """Enforce (strict mode) or warn about (default) a speedup floor."""
+    if actual >= required:
+        return
+    message = (
+        f"{label}: expected a >={required:g}x speedup, got {actual:.2f}x"
+    )
+    if strict_benchmarks():
+        raise AssertionError(message)
+    print(f"WARNING [REPRO_BENCH_STRICT off, not failing]: {message}")
 
 
 def report(title: str, lines: list[str]) -> None:

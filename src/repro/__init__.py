@@ -129,6 +129,7 @@ from repro.incremental import (
     batch_deltas,
     view_delta,
 )
+from repro.engine import compile_query, execute
 from repro.planner import (
     CostModel,
     OptimizationReport,
@@ -217,6 +218,9 @@ __all__ = [
     "apply_delta",
     "batch_deltas",
     "apply_batch_to_database",
+    # engine
+    "compile_query",
+    "execute",
     # planner
     "optimize",
     "explain",

@@ -54,7 +54,13 @@ class Query:
     (optionally through the planner first with ``optimize=True``).
     """
 
-    def evaluate(self, database: Database, *, optimize: bool = False) -> KRelation:
+    def evaluate(
+        self,
+        database: Database,
+        *,
+        optimize: bool = False,
+        executor: str = "naive",
+    ) -> KRelation:
         """Evaluate the query against ``database`` and return a K-relation.
 
         With ``optimize=True`` the query is first run through the
@@ -63,10 +69,28 @@ class Query:
         3.4 -- and the optimized plan is executed instead.  The result is the
         same K-relation annotation-for-annotation; only the display order of
         attributes may differ (the named perspective is order-free).
+
+        ``executor`` selects the physical execution strategy:
+
+        * ``"naive"`` (default) -- operator-at-a-time: every node of the
+          plan materializes its full intermediate K-relation;
+        * ``"pipelined"`` -- compile the plan into streaming hash-based
+          kernels (:mod:`repro.engine`): selections/projections/renames fuse
+          into scans and join probe loops, joins build the cheaper side, and
+          duplicate-tuple annotation contributions are combined batched (one
+          ``+``-chain per output tuple).  Same result, no intermediate
+          materialization.
         """
-        if optimize:
-            return self.optimized(database)._execute(database)
-        return self._execute(database)
+        plan = self.optimized(database) if optimize else self
+        if executor == "pipelined":
+            from repro.engine import execute as _execute_pipelined
+
+            return _execute_pipelined(plan, database)
+        if executor != "naive":
+            raise QueryError(
+                f"unknown executor {executor!r}; expected 'naive' or 'pipelined'"
+            )
+        return plan._execute(database)
 
     def _execute(self, database: Database) -> KRelation:
         """Execute this operator tree as written (implemented by subclasses)."""
@@ -82,8 +106,14 @@ class Query:
 
         return _optimize(self, database, **options)
 
-    def __call__(self, database: Database, *, optimize: bool = False) -> KRelation:
-        return self.evaluate(database, optimize=optimize)
+    def __call__(
+        self,
+        database: Database,
+        *,
+        optimize: bool = False,
+        executor: str = "naive",
+    ) -> KRelation:
+        return self.evaluate(database, optimize=optimize, executor=executor)
 
     # -- combinators -------------------------------------------------------------
     def union(self, other: "Query") -> "Union":

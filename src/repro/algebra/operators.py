@@ -24,7 +24,16 @@ from repro.relations.schema import Schema
 from repro.relations.tuples import Tup
 from repro.semirings.base import Semiring
 
-__all__ = ["empty", "union", "project", "select", "join", "rename", "intersection"]
+__all__ = [
+    "empty",
+    "union",
+    "project",
+    "select",
+    "join",
+    "rename",
+    "validate_rename",
+    "intersection",
+]
 
 
 def _require_same_semiring(left: KRelation, right: KRelation) -> Semiring:
@@ -138,19 +147,28 @@ def intersection(left: KRelation, right: KRelation) -> KRelation:
     return join(left, right)
 
 
-def rename(relation: KRelation, mapping: Mapping[str, str]) -> KRelation:
-    """Rename attributes by the bijection ``mapping`` (old name -> new name)."""
+def validate_rename(mapping: Mapping[str, str], attribute_set: Iterable[str]) -> None:
+    """The legality checks of ``rename``: known attributes, injective, no clashes.
+
+    Shared with the pipelined plan compiler (:mod:`repro.engine.compile`) so
+    the naive and physical executors accept exactly the same renamings.
+    """
+    attribute_set = set(attribute_set)
     old_names = set(mapping)
-    unknown = old_names - relation.schema.attribute_set
+    unknown = old_names - attribute_set
     if unknown:
         raise SchemaError(f"cannot rename unknown attributes {sorted(unknown)}")
     new_names = list(mapping.values())
     if len(set(new_names)) != len(new_names):
         raise SchemaError(f"renaming {dict(mapping)} is not injective")
-    clashes = (set(new_names) & relation.schema.attribute_set) - old_names
+    clashes = (set(new_names) & attribute_set) - old_names
     if clashes:
         raise SchemaError(f"renaming collides with existing attributes {sorted(clashes)}")
 
+
+def rename(relation: KRelation, mapping: Mapping[str, str]) -> KRelation:
+    """Rename attributes by the bijection ``mapping`` (old name -> new name)."""
+    validate_rename(mapping, relation.schema.attribute_set)
     result = KRelation(relation.semiring, relation.schema.rename(mapping))
     for tup, annotation in relation.items():
         result.set(tup.rename(mapping), annotation)

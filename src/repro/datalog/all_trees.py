@@ -23,7 +23,7 @@ test-suite cross-checks the result against brute-force tree enumeration
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping
 
 from repro.errors import DatalogError
 from repro.datalog.grounding import GroundAtom, GroundProgram, ground_program
@@ -89,11 +89,21 @@ class AllTreesResult:
         return values
 
 
-def default_edb_ids(ground: GroundProgram, prefix: str = "t") -> Dict[GroundAtom, str]:
-    """Assign a deterministic tuple-id variable to every EDB fact."""
+def default_edb_ids(
+    ground: "GroundProgram | Iterable[GroundAtom]", prefix: str = "t"
+) -> Dict[GroundAtom, str]:
+    """Assign a deterministic tuple-id variable to every EDB fact.
+
+    Accepts a :class:`GroundProgram` or any iterable of EDB atoms (e.g. the
+    keys of :func:`repro.datalog.grounding.collect_edb_annotations`, which
+    lets callers skip the grounding pass entirely); the id convention --
+    sort by relation then stringified values, number from 1 -- is identical
+    either way.
+    """
+    atoms = ground.edb_atoms if isinstance(ground, GroundProgram) else ground
     ids: Dict[GroundAtom, str] = {}
     for index, atom in enumerate(
-        sorted(ground.edb_atoms, key=lambda a: (a.relation, tuple(map(str, a.values)))),
+        sorted(atoms, key=lambda a: (a.relation, tuple(map(str, a.values)))),
         start=1,
     ):
         ids[atom] = f"{prefix}{index}"

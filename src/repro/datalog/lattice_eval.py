@@ -27,7 +27,7 @@ from typing import Any, Dict, Mapping
 from repro.errors import DatalogError
 from repro.datalog.all_trees import default_edb_ids
 from repro.datalog.fixpoint import evaluate_program
-from repro.datalog.grounding import GroundAtom, ground_program
+from repro.datalog.grounding import GroundAtom, collect_edb_annotations
 from repro.datalog.syntax import Program
 from repro.relations.database import Database
 from repro.relations.krelation import KRelation
@@ -84,16 +84,23 @@ def lattice_condition_provenance(
     database: Database,
     *,
     edb_ids: Mapping[GroundAtom, str] | None = None,
+    engine: str = "naive",
 ) -> LatticeDatalogResult:
     """Compute the PosBool(X) ("minimal fringe") provenance of a datalog query.
 
     The database may be annotated in any semiring; only the support matters
     here, since each EDB fact is re-tagged with its own Boolean variable.
+    ``engine`` selects the evaluation strategy of the underlying PosBool(X)
+    fixpoint (``"naive"`` or ``"seminaive"``, see
+    :func:`repro.datalog.fixpoint.evaluate_program`); the conditions are
+    identical either way.
     """
     if isinstance(program, str):
         program = Program.parse(program)
-    ground = ground_program(program, database)
-    ids = dict(edb_ids) if edb_ids is not None else default_edb_ids(ground)
+    if edb_ids is not None:
+        ids = dict(edb_ids)
+    else:
+        ids = default_edb_ids(collect_edb_annotations(program, database))
 
     posbool = PosBoolSemiring()
     tagged = Database(posbool)
@@ -105,7 +112,7 @@ def lattice_condition_provenance(
             relation.set(tup, BoolExpr.var(ids[atom]))
         tagged.register(predicate, relation)
 
-    result = evaluate_program(program, tagged)
+    result = evaluate_program(program, tagged, engine=engine)
     conditions = {
         atom: value
         for atom, value in result.annotations.items()
@@ -119,6 +126,7 @@ def evaluate_on_lattice(
     database: Database,
     *,
     output_only: bool = True,
+    engine: str = "naive",
 ) -> KRelation:
     """Terminating datalog evaluation when the database's semiring is a lattice.
 
@@ -128,6 +136,9 @@ def evaluate_on_lattice(
     construction: for ``K = B`` every derivable tuple gets ``true``; for
     ``K = PosBool(B)`` the result is the c-table datalog semantics; for
     ``K = P(Omega)`` it generalizes probabilistic datalog.
+
+    ``engine="seminaive"`` runs the underlying PosBool(X) fixpoint through
+    the PR 2 delta-driven engine; the result is identical.
     """
     if isinstance(program, str):
         program = Program.parse(program)
@@ -136,11 +147,14 @@ def evaluate_on_lattice(
         raise DatalogError(
             f"evaluate_on_lattice requires a distributive-lattice semiring, got {semiring.name}"
         )
-    provenance = lattice_condition_provenance(program, database)
-    ground = ground_program(program, database)
+    # One EDB scan serves both the tuple ids and the valuation.
+    edb_annotations = collect_edb_annotations(program, database)
+    ids = default_edb_ids(edb_annotations)
+    provenance = lattice_condition_provenance(
+        program, database, edb_ids=ids, engine=engine
+    )
     valuation = {
-        provenance.edb_ids[atom]: ground.edb_annotation(atom)
-        for atom in ground.edb_atoms
+        ids[atom]: annotation for atom, annotation in edb_annotations.items()
     }
     values = provenance.evaluate(semiring, valuation)
 

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence, Set, Tuple
 
+from repro.engine.kernels import combine_contributions
 from repro.errors import DatalogError, DivergenceError
 from repro.datalog.fixpoint import (
     DEFAULT_MAX_ITERATIONS,
@@ -408,12 +409,15 @@ class _SemiNaiveEngine:
                     )
                     emit[head] = True
                 else:
-                    current = emit.get(head)
-                    emit[head] = (
-                        annotation
-                        if current is None
-                        else semiring.add(current, annotation)
-                    )
+                    # Batched accumulation (shared with the physical engine):
+                    # contributions are collected per head tuple and combined
+                    # with one +-chain in ``_merge``, instead of a semiring
+                    # ``add`` per derivation here.
+                    batch = emit.get(head)
+                    if batch is None:
+                        emit[head] = [annotation]
+                    else:
+                        batch.append(annotation)
                 return
             step = steps[level]
             store = stores[step.predicate]
@@ -524,7 +528,15 @@ class _SemiNaiveEngine:
         return self._drain(delta, max_iterations, iterations=1)
 
     def _merge(self, out: Dict[str, Dict[tuple, Any]]) -> Dict[str, List[Tuple[tuple, Tup]]]:
-        """Accumulate a round's contributions; return the delta rows per predicate."""
+        """Accumulate a round's contributions; return the delta rows per predicate.
+
+        In annotation mode each head tuple's contribution batch is combined
+        with one ``+``-chain (:func:`repro.engine.kernels.combine_contributions`)
+        before it is merged into the store -- the same batched-accumulation
+        kernel the physical engine's pipeline breaker uses.
+        """
+        semiring = self.semiring
+        collect = self.collect
         delta: Dict[str, List[Tuple[tuple, Tup]]] = {}
         for predicate, contributions in out.items():
             store = self.stores[predicate]
@@ -539,9 +551,14 @@ class _SemiNaiveEngine:
             }
             known = relation._annotations
             new_tuples = {tup for tup in by_tup if tup not in known}
-            changed = relation.merge_delta(
-                (tup, contributions[by_tup[tup]]) for tup in by_tup
-            )
+            if collect:
+                updates = ((tup, contributions[by_tup[tup]]) for tup in by_tup)
+            else:
+                updates = (
+                    (tup, combine_contributions(semiring, contributions[by_tup[tup]]))
+                    for tup in by_tup
+                )
+            changed = relation.merge_delta(updates)
             rows: List[Tuple[tuple, Tup]] = []
             for tup in changed:
                 values = by_tup[tup]

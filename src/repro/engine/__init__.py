@@ -1,0 +1,37 @@
+"""Physical execution engine: pipelined kernels for optimized plans.
+
+The logical layers -- the PR 4 planner, materialized views, the semi-naive
+datalog engine -- all produce *plans*; this package is where plans become
+machine work.  :mod:`repro.engine.compile` turns any positive-algebra query
+into a tree of pipelined operators (fused scan-select-project, hash join
+with cost-driven build-side selection, streaming union) with one batched
+annotation-accumulation pipeline breaker at the root, and
+:mod:`repro.engine.kernels` exposes the underlying relation-level kernels
+shared with view maintenance and the datalog delta rounds.
+
+Entry points::
+
+    result = Q.relation("R").join(Q.relation("S")).evaluate(
+        db, optimize=True, executor="pipelined"
+    )
+
+    from repro.engine import execute
+    result = execute(plan, db)          # the same, on a prepared plan
+"""
+
+from repro.engine.compile import compile_query, execute
+from repro.engine.kernels import (
+    accumulate_batches,
+    combine_contributions,
+    join_relations,
+    project_relation,
+)
+
+__all__ = [
+    "compile_query",
+    "execute",
+    "accumulate_batches",
+    "combine_contributions",
+    "join_relations",
+    "project_relation",
+]

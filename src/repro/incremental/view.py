@@ -69,29 +69,53 @@ class _Node:
         self.base_names = query.relation_names()
 
 
-def _build(query: Query, database: Database) -> _Node:
+def _build(query: Query, database: Database, executor: str = "naive") -> _Node:
     """Compile ``query`` into a node tree, evaluating every subquery once."""
     if isinstance(query, RelationRef):
         return _Node(query, [], database.relation(query.name).copy())
     if isinstance(query, EmptyRelation):
         return _Node(query, [], operators.empty(database.semiring, query.schema))
-    children = [_build(child, database) for child in query.children()]
-    relation = _evaluate_node(query, children, database)
+    children = [_build(child, database, executor) for child in query.children()]
+    relation = _evaluate_node(query, children, database, executor)
     return _Node(query, children, relation)
 
 
-def _evaluate_node(query: Query, children: List[_Node], database: Database) -> KRelation:
+def _join(left: KRelation, right: KRelation, executor: str) -> KRelation:
+    """The join used by materialization and delta propagation.
+
+    ``executor="pipelined"`` routes through the shared physical kernel
+    (:func:`repro.engine.kernels.join_relations`): cost-driven build-side
+    selection plus batched annotation accumulation.
+    """
+    if executor == "pipelined":
+        from repro.engine.kernels import join_relations
+
+        return join_relations(left, right)
+    return operators.join(left, right)
+
+
+def _project(relation: KRelation, attributes, executor: str) -> KRelation:
+    if executor == "pipelined":
+        from repro.engine.kernels import project_relation
+
+        return project_relation(relation, attributes)
+    return operators.project(relation, attributes)
+
+
+def _evaluate_node(
+    query: Query, children: List[_Node], database: Database, executor: str = "naive"
+) -> KRelation:
     """Evaluate one operator from its children's materialized relations."""
     if isinstance(query, Union):
         return operators.union(children[0].relation, children[1].relation)
     if isinstance(query, Project):
-        return operators.project(children[0].relation, query.attributes)
+        return _project(children[0].relation, query.attributes, executor)
     if isinstance(query, Select):
         return operators.select(children[0].relation, query.predicate)
     if isinstance(query, Rename):
         return operators.rename(children[0].relation, query.mapping)
     if isinstance(query, Join):
-        return operators.join(children[0].relation, children[1].relation)
+        return _join(children[0].relation, children[1].relation, executor)
     raise QueryError(
         f"cannot materialize query node {type(query).__name__}; "
         "materialized views cover the positive algebra of Definition 3.2"
@@ -102,6 +126,7 @@ def _propagate(
     node: _Node,
     deltas: Mapping[str, KRelation],
     changed_out: Dict[Tup, Any] | None = None,
+    executor: str = "naive",
 ) -> KRelation:
     """Advance ``node`` (and its subtree) to the post-update state.
 
@@ -122,30 +147,32 @@ def _propagate(
         return delta
     if isinstance(query, Union):
         delta = operators.union(
-            _propagate(node.children[0], deltas),
-            _propagate(node.children[1], deltas),
+            _propagate(node.children[0], deltas, executor=executor),
+            _propagate(node.children[1], deltas, executor=executor),
         )
     elif isinstance(query, Project):
-        delta = operators.project(
-            _propagate(node.children[0], deltas), query.attributes
+        delta = _project(
+            _propagate(node.children[0], deltas, executor=executor),
+            query.attributes,
+            executor,
         )
     elif isinstance(query, Select):
         delta = operators.select(
-            _propagate(node.children[0], deltas), query.predicate
+            _propagate(node.children[0], deltas, executor=executor), query.predicate
         )
     elif isinstance(query, Rename):
         delta = operators.rename(
-            _propagate(node.children[0], deltas), query.mapping
+            _propagate(node.children[0], deltas, executor=executor), query.mapping
         )
     elif isinstance(query, Join):
         left, right = node.children
         # Two-term bilinear rule: the left child advances first, so the
         # first term joins ΔL with R's *old* relation and the second joins
         # L's *new* relation with ΔR (absorbing the ΔL ⋈ ΔR cross term).
-        left_delta = _propagate(left, deltas)
-        delta = operators.join(left_delta, right.relation)
-        right_delta = _propagate(right, deltas)
-        delta = operators.union(delta, operators.join(left.relation, right_delta))
+        left_delta = _propagate(left, deltas, executor=executor)
+        delta = _join(left_delta, right.relation, executor)
+        right_delta = _propagate(right, deltas, executor=executor)
+        delta = operators.union(delta, _join(left.relation, right_delta, executor))
     else:  # pragma: no cover - _build already rejected exotic nodes
         raise QueryError(f"no delta rule for {type(query).__name__}")
     applied = apply_delta(node.relation, delta)
@@ -154,7 +181,9 @@ def _propagate(
     return delta
 
 
-def _rebuild(node: _Node, database: Database, touched: frozenset[str]) -> None:
+def _rebuild(
+    node: _Node, database: Database, touched: frozenset[str], executor: str = "naive"
+) -> None:
     """Bounded recomputation: re-evaluate only subtrees reading ``touched``."""
     if not (node.base_names & touched):
         return
@@ -162,8 +191,8 @@ def _rebuild(node: _Node, database: Database, touched: frozenset[str]) -> None:
         node.relation = database.relation(node.query.name).copy()
         return
     for child in node.children:
-        _rebuild(child, database, touched)
-    node.relation = _evaluate_node(node.query, node.children, database)
+        _rebuild(child, database, touched, executor)
+    node.relation = _evaluate_node(node.query, node.children, database, executor)
 
 
 class MaterializedView:
@@ -186,6 +215,13 @@ class MaterializedView:
         the initial materialization and every delta propagation walk the
         cheaper plan.  ``query`` keeps the original expression; the compiled
         plan is available as :attr:`plan`.
+    executor:
+        ``"naive"`` (default) evaluates operator nodes through
+        :mod:`repro.algebra.operators`; ``"pipelined"`` routes the join and
+        projection nodes -- both in the initial materialization and in every
+        delta-propagation join -- through the shared physical kernels of
+        :mod:`repro.engine.kernels` (cost-driven build side, batched
+        annotation accumulation).  The maintained relation is identical.
 
     Usage::
 
@@ -205,10 +241,16 @@ class MaterializedView:
         *,
         name: str = "view",
         optimize: bool = False,
+        executor: str = "naive",
     ):
         self.query = query
         self.database = database
         self.name = name
+        if executor not in ("naive", "pipelined"):
+            raise QueryError(
+                f"unknown executor {executor!r}; expected 'naive' or 'pipelined'"
+            )
+        self.executor = executor
         if optimize:
             from repro.planner import optimize as _optimize
 
@@ -216,7 +258,7 @@ class MaterializedView:
             self.plan = _optimize(query, database)
         else:
             self.plan = query
-        self._root = _build(self.plan, database)
+        self._root = _build(self.plan, database, executor)
         #: ``"incremental"`` or ``"recompute"`` -- how the last :meth:`apply`
         #: ran (``None`` before the first apply).
         self.last_apply_mode: str | None = None
@@ -257,7 +299,7 @@ class MaterializedView:
         deltas = batch_deltas(self.database, batch)
         apply_batch_to_database(self.database, batch)
         changed: Dict[Tup, Any] = {}
-        _propagate(self._root, deltas, changed)
+        _propagate(self._root, deltas, changed, executor=self.executor)
         self.last_apply_mode = "incremental"
         return changed
 
@@ -265,7 +307,7 @@ class MaterializedView:
         touched = batch.touched_relations
         apply_batch_to_database(self.database, batch)
         old = dict(self._root.relation._annotations)
-        _rebuild(self._root, self.database, touched)
+        _rebuild(self._root, self.database, touched, self.executor)
         self.last_apply_mode = "recompute"
         new = self._root.relation._annotations
         zero = self.semiring.zero()
@@ -275,7 +317,7 @@ class MaterializedView:
 
     def refresh(self) -> KRelation:
         """Rebuild the whole view from the database (full recomputation)."""
-        self._root = _build(self.plan, self.database)
+        self._root = _build(self.plan, self.database, self.executor)
         return self._root.relation
 
     def __repr__(self) -> str:

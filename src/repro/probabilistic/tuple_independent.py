@@ -97,24 +97,47 @@ class ProbabilisticDatabase:
         return self.space.marginals[event_name]
 
     # -- querying -----------------------------------------------------------------
-    def query_events(self, query: Query) -> KRelation:
-        """Evaluate a positive-algebra query, returning the event of each answer."""
-        return query.evaluate(self.database)
+    def query_events(
+        self, query: Query, *, optimize: bool = True, executor: str = "naive"
+    ) -> KRelation:
+        """Evaluate a positive-algebra query, returning the event of each answer.
 
-    def query_probabilities(self, query: Query) -> Dict[Tup, float]:
+        Queries run through the semiring-aware planner by default
+        (``optimize=True``) -- the Proposition 3.4 rewrites are valid over
+        ``P(Omega)`` like over any commutative semiring, and event-set
+        annotations are expensive enough that pushdowns pay off immediately.
+        ``executor="pipelined"`` additionally runs the optimized plan on the
+        physical engine (:mod:`repro.engine`).  The answer events are
+        identical in every mode.
+        """
+        return query.evaluate(self.database, optimize=optimize, executor=executor)
+
+    def query_probabilities(
+        self, query: Query, *, optimize: bool = True, executor: str = "naive"
+    ) -> Dict[Tup, float]:
         """Evaluate a query and return the exact probability of each answer tuple."""
-        events = self.query_events(query)
+        events = self.query_events(query, optimize=optimize, executor=executor)
         return {tup: self.space.probability(event) for tup, event in events.items()}
 
-    def datalog_events(self, program: Program | str) -> KRelation:
-        """Evaluate a datalog program (Section 8: P(Omega) is a finite lattice)."""
+    def datalog_events(
+        self, program: Program | str, *, engine: str = "seminaive"
+    ) -> KRelation:
+        """Evaluate a datalog program (Section 8: P(Omega) is a finite lattice).
+
+        The underlying PosBool(X) condition fixpoint runs on the semi-naive
+        delta-driven engine by default (``engine="seminaive"``); pass
+        ``engine="naive"`` for the grounding-based reference path.  The
+        answer events are identical either way.
+        """
         if isinstance(program, str):
             program = Program.parse(program)
-        return evaluate_on_lattice(program, self.database)
+        return evaluate_on_lattice(program, self.database, engine=engine)
 
-    def datalog_probabilities(self, program: Program | str) -> Dict[Tup, float]:
+    def datalog_probabilities(
+        self, program: Program | str, *, engine: str = "seminaive"
+    ) -> Dict[Tup, float]:
         """Datalog evaluation with exact output probabilities."""
-        events = self.datalog_events(program)
+        events = self.datalog_events(program, engine=engine)
         return {tup: self.space.probability(event) for tup, event in events.items()}
 
     def tuple_probability(self, relation_name: str, row: Any) -> float:

@@ -301,26 +301,59 @@ class KRelation:
         return operators.rename(self, mapping)
 
     # -- comparisons --------------------------------------------------------------
+    def _require_same_semiring(self, other: "KRelation", operation: str) -> None:
+        """Comparisons across semirings are type errors, not inequalities.
+
+        Annotations from different semirings can be structurally equal as
+        Python values (``N``'s ``2`` vs Tropical's ``2.0``) while meaning
+        entirely different things, and ``leq`` applied to foreign carrier
+        values is undefined -- so mixing semirings raises instead of
+        silently answering.
+        """
+        if self.semiring.name != other.semiring.name:
+            raise SemiringError(
+                f"cannot {operation} relations over different semirings "
+                f"({self.semiring.name} vs {other.semiring.name})"
+            )
+
     def equal_to(self, other: "KRelation") -> bool:
-        """Annotation-wise equality of two relations over the same schema."""
+        """Annotation-wise equality of two relations over the same schema.
+
+        Raises :class:`~repro.errors.SemiringError` when the relations are
+        annotated in different semirings (see :meth:`_require_same_semiring`).
+        """
         if not isinstance(other, KRelation):
             return False
+        self._require_same_semiring(other, "compare")
         if self.schema.attribute_set != other.schema.attribute_set:
             return False
-        return dict(self._annotations) == dict(other._annotations)
+        return self._annotations == other._annotations
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, KRelation):
             return NotImplemented
+        # ``==`` must not raise (relations end up in assertion messages and
+        # container lookups); cross-semiring relations are simply unequal.
+        if self.semiring.name != other.semiring.name:
+            return False
         return self.equal_to(other)
 
-    def __hash__(self) -> int:  # pragma: no cover - relations are mostly unhashed
-        return hash(
-            ("KRelation", self.schema.attribute_set, frozenset(self._annotations.items()))
-        )
+    # K-relations are mutable containers (``add``/``merge_delta`` change the
+    # annotation dictionary in place), so they must not be usable as dict or
+    # set keys: a hash derived from ``_annotations`` silently goes stale
+    # after insertion.  Defining ``__eq__`` alone would already reset this to
+    # None; the explicit assignment documents that the unhashability is
+    # deliberate.
+    __hash__ = None
 
     def contained_in(self, other: "KRelation") -> bool:
-        """Annotation-wise containment in the semiring's natural order."""
+        """Annotation-wise containment in the semiring's natural order.
+
+        Raises :class:`~repro.errors.SemiringError` when the relations are
+        annotated in different semirings -- ``leq`` is only defined on this
+        semiring's own carrier.
+        """
+        self._require_same_semiring(other, "compare")
         if self.schema.attribute_set != other.schema.attribute_set:
             raise SchemaError("containment requires union-compatible relations")
         leq = self.semiring.leq

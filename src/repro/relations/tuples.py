@@ -40,6 +40,20 @@ class Tup:
 
     # -- constructors ---------------------------------------------------------
     @classmethod
+    def _from_sorted_items(cls, items: Tuple[tuple[str, Any], ...]) -> "Tup":
+        """Internal fast constructor: ``items`` must already be distinct
+        ``(attribute, value)`` pairs sorted by attribute name.
+
+        The physical execution kernels (:mod:`repro.engine.kernels`) build
+        output tuples from positional value rows whose attribute order is
+        known at compile time, so re-sorting and re-validating per tuple
+        would dominate the hot loops.
+        """
+        tup = cls.__new__(cls)
+        object.__setattr__(tup, "_items", items)
+        return tup
+
+    @classmethod
     def from_values(cls, attributes: Iterable[str], values: Iterable[Any]) -> "Tup":
         """Zip parallel attribute and value sequences into a tuple."""
         attributes, values = list(attributes), list(values)

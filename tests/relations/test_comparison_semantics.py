@@ -1,0 +1,87 @@
+"""Regression tests for K-relation hashability and comparison semantics.
+
+Two latent correctness bugs fixed in this PR:
+
+* ``KRelation.__hash__`` used to hash the mutable ``_annotations`` dict, so
+  a relation used as a dict/set key silently changed hash after ``add`` or
+  ``merge_delta`` -- relations are now unhashable (``__hash__ = None``),
+  like every other mutable container;
+* ``equal_to``/``contained_in`` compared annotations across relations
+  without checking semiring compatibility, so an ``N``-relation and a
+  Tropical-relation with structurally equal annotation dicts (``2`` vs
+  ``2.0``) compared "equal", and ``leq`` was applied to foreign carrier
+  values -- cross-semiring comparisons now raise ``SemiringError``
+  (``==`` stays non-raising and simply answers ``False``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KRelation, NaturalsSemiring, SemiringError, TropicalSemiring
+
+
+def _bag(rows):
+    return KRelation(NaturalsSemiring(), ["a", "b"], rows)
+
+
+def _tropical(rows):
+    return KRelation(TropicalSemiring(), ["a", "b"], rows)
+
+
+class TestUnhashability:
+    def test_relations_are_unhashable(self):
+        relation = _bag([(("1", "2"), 2)])
+        with pytest.raises(TypeError, match="unhashable"):
+            hash(relation)
+
+    def test_relations_cannot_be_set_members_or_dict_keys(self):
+        relation = _bag([(("1", "2"), 2)])
+        with pytest.raises(TypeError, match="unhashable"):
+            {relation}
+        with pytest.raises(TypeError, match="unhashable"):
+            {relation: "value"}
+
+    def test_the_old_failure_mode_is_gone(self):
+        # Before the fix this sequence produced a dict whose key could no
+        # longer be found: the hash captured the annotations at insertion
+        # time and add() changed them afterwards.
+        relation = _bag([(("1", "2"), 2)])
+        with pytest.raises(TypeError):
+            index = {relation: "cached"}
+            relation.add(("3", "4"), 1)
+            assert index[relation]  # pragma: no cover - never reached
+
+
+class TestCrossSemiringComparisons:
+    def test_equal_to_raises_on_semiring_mismatch(self):
+        # Structurally identical dicts: N's 2 == Tropical's 2.0 in Python.
+        bag = _bag([(("1", "2"), 2)])
+        tropical = _tropical([(("1", "2"), 2.0)])
+        with pytest.raises(SemiringError, match="different semirings"):
+            bag.equal_to(tropical)
+
+    def test_contained_in_raises_on_semiring_mismatch(self):
+        bag = _bag([(("1", "2"), 2)])
+        tropical = _tropical([(("1", "2"), 2.0)])
+        with pytest.raises(SemiringError, match="different semirings"):
+            bag.contained_in(tropical)
+
+    def test_dunder_eq_answers_false_without_raising(self):
+        bag = _bag([(("1", "2"), 2)])
+        tropical = _tropical([(("1", "2"), 2.0)])
+        assert not (bag == tropical)
+        assert bag != tropical
+
+    def test_same_semiring_comparisons_still_work(self):
+        left = _bag([(("1", "2"), 2)])
+        right = _bag([(("1", "2"), 2)])
+        assert left.equal_to(right)
+        assert left == right
+        assert left.contained_in(_bag([(("1", "2"), 3)]))
+        assert not _bag([(("1", "2"), 3)]).contained_in(left)
+
+    def test_non_relations_compare_unequal_not_error(self):
+        relation = _bag([(("1", "2"), 2)])
+        assert not relation.equal_to("not a relation")
+        assert relation != "not a relation"
