@@ -28,6 +28,7 @@ or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_engine.py``.
 import time
 
 from conftest import check_speedup, report
+from reporting import emit, ops_snapshot
 
 from repro.algebra.ast import Q
 from repro.relations.database import Database
@@ -139,15 +140,58 @@ def test_engine_beats_materializing_path_on_largest_instance():
     check_speedup(_speedup(record), 3.0, "engine win on the largest instance")
 
 
+def _two_hop_ops(semiring, edges, domain_size):
+    """Semiring-op counts of the pipelined two-hop run (deterministic)."""
+
+    def run(instrumented):
+        database = Database(instrumented)
+        database.register(
+            "E",
+            random_relation(
+                instrumented,
+                ["a", "b"],
+                num_tuples=edges,
+                domain_size=domain_size,
+                seed=SEED,
+            ),
+        )
+        query = (
+            Q.relation("E")
+            .join(Q.relation("E").rename({"a": "b", "b": "c"}))
+            .project("a", "c")
+        )
+        query.evaluate(database, optimize=True, executor="pipelined")
+
+    return ops_snapshot(semiring, run)
+
+
 def main() -> None:
     records = _series_records()
     semiring, edges, domain = TWO_HOP_INSTANCES[-1]
     records.append(_two_hop_record(semiring, edges, domain))
     for record in records:
+        record["speedup"] = _speedup(record)
         for line in _lines(record):
             print(line)
     largest = records[-1]
     print(f"\nlargest-instance engine win: {_speedup(largest):.1f}x (need >= 3x)")
+    ops_semiring, ops_edges, ops_domain = TWO_HOP_INSTANCES[0]
+    emit(
+        "engine",
+        records,
+        summary={
+            "largest_speedup": _speedup(largest),
+            "required_speedup": 3.0,
+            "two_hop_instances": [
+                {"semiring": s.name, "edges": e, "domain": d}
+                for s, e, d in TWO_HOP_INSTANCES
+            ],
+            "semiring_ops": {
+                "workload": f"two-hop pipelined ({ops_semiring.name}, edges={ops_edges})",
+                **_two_hop_ops(ops_semiring, ops_edges, ops_domain),
+            },
+        },
+    )
     check_speedup(_speedup(largest), 3.0, "engine win on the largest instance")
 
 

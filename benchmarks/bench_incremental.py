@@ -15,6 +15,7 @@ or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_incremental.
 import time
 
 from conftest import check_speedup, report
+from reporting import emit, ops_snapshot
 
 from repro.algebra.ast import Q
 from repro.datalog import evaluate_program
@@ -165,6 +166,33 @@ def test_incremental_beats_recompute_on_largest_instance():
     )
 
 
+def _maintenance_ops(semiring, fact_tuples, batches, deletes_per_batch):
+    """Semiring-op counts of maintaining the star view over the stream."""
+
+    def run(instrumented):
+        database = star_join_database(
+            instrumented,
+            fact_tuples=fact_tuples,
+            dimension_tuples=max(20, fact_tuples // 50),
+            domain_size=max(15, fact_tuples // 20),
+            seed=SEED,
+        )
+        stream = random_update_stream(
+            database,
+            batches=batches,
+            inserts_per_batch=4,
+            deletes_per_batch=deletes_per_batch,
+            domain_size=max(15, fact_tuples // 20),
+            seed=SEED + 1,
+            relation_names=["F"],
+        )
+        view = MaterializedView(VIEW_QUERY, database)
+        for batch in stream:
+            view.apply(batch)
+
+    return ops_snapshot(semiring, run)
+
+
 def main() -> None:
     records = [
         _ra_record(semiring, fact_tuples, batches, deletes)
@@ -172,10 +200,31 @@ def main() -> None:
     ]
     records.append(_datalog_record(TropicalSemiring(), 24, 8))
     for record in records:
+        record["speedup"] = _speedup(record)
         for line in _lines(record):
             print(line)
     largest = records[len(RA_INSTANCES) - 1]
     print(f"\nlargest-instance incremental win: {_speedup(largest):.1f}x (need >= 5x)")
+    ops_semiring, ops_facts, ops_batches, ops_deletes = RA_INSTANCES[0]
+    emit(
+        "incremental",
+        records,
+        summary={
+            "largest_speedup": _speedup(largest),
+            "required_speedup": 5.0,
+            "ra_instances": [
+                {"semiring": s.name, "facts": f, "batches": b, "deletes": d}
+                for s, f, b, d in RA_INSTANCES
+            ],
+            "semiring_ops": {
+                "workload": (
+                    f"view maintenance ({ops_semiring.name}, facts={ops_facts}, "
+                    f"batches={ops_batches})"
+                ),
+                **_maintenance_ops(ops_semiring, ops_facts, ops_batches, ops_deletes),
+            },
+        },
+    )
     check_speedup(
         _speedup(largest), 5.0, "incremental win on the largest update-stream instance"
     )

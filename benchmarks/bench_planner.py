@@ -21,6 +21,7 @@ or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_planner.py``
 import time
 
 from conftest import check_speedup, report
+from reporting import emit, ops_snapshot
 
 from repro.algebra.ast import Q
 from repro.planner import optimize
@@ -111,15 +112,48 @@ def test_planner_beats_as_written_on_largest_instance():
     check_speedup(_speedup(record), 3.0, "planner win on the largest instance")
 
 
+def _planner_ops(semiring, fact_tuples, domain_size):
+    """Semiring-op counts of the optimized run on an instrumented database."""
+
+    def run(instrumented):
+        database = star_join_database(
+            instrumented,
+            fact_tuples=fact_tuples,
+            dimension_tuples=max(40, fact_tuples // 50),
+            domain_size=domain_size,
+            seed=SEED,
+        )
+        _bad_query(database).evaluate(database, optimize=True)
+
+    return ops_snapshot(semiring, run)
+
+
 def main() -> None:
     records = [
         _record(semiring, facts, domain) for semiring, facts, domain in INSTANCES
     ]
     for record in records:
+        record["speedup"] = _speedup(record)
         for line in _lines(record):
             print(line)
     print(f"\noptimized plan: {records[-1]['plan']}")
     print(f"largest-instance planner win: {_speedup(records[-1]):.1f}x (need >= 3x)")
+    ops_semiring, ops_facts, ops_domain = INSTANCES[0]
+    emit(
+        "planner",
+        records,
+        summary={
+            "largest_speedup": _speedup(records[-1]),
+            "required_speedup": 3.0,
+            "instances": [
+                {"semiring": s.name, "facts": f, "domain": d} for s, f, d in INSTANCES
+            ],
+            "semiring_ops": {
+                "workload": f"optimized star query ({ops_semiring.name}, facts={ops_facts})",
+                **_planner_ops(ops_semiring, ops_facts, ops_domain),
+            },
+        },
+    )
     check_speedup(_speedup(records[-1]), 3.0, "planner win on the largest instance")
 
 

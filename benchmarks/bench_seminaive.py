@@ -15,6 +15,7 @@ or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_seminaive.py
 import time
 
 from conftest import check_speedup, report
+from reporting import emit, ops_snapshot
 
 from repro.datalog import evaluate_program
 from repro.semirings import (
@@ -93,13 +94,40 @@ def test_seminaive_beats_naive_on_largest_instance():
     check_speedup(_speedup(record), 5.0, "semi-naive win on the largest instance")
 
 
+def _seminaive_ops(semiring, nodes):
+    """Semiring-op counts of the semi-naive fixpoint (deterministic)."""
+
+    def run(instrumented):
+        database = random_graph_database(
+            instrumented, nodes=nodes, edge_probability=EDGE_PROBABILITY, seed=SEED
+        )
+        evaluate_program(transitive_closure_program(), database, engine="seminaive")
+
+    return ops_snapshot(semiring, run)
+
+
 def main() -> None:
     records = [_record(semiring, nodes) for semiring, nodes in INSTANCES]
     for record in records:
+        record["speedup"] = _speedup(record)
         for line in _lines(record):
             print(line)
     largest = records[-1]
     print(f"\nlargest-instance semi-naive win: {_speedup(largest):.1f}x (need >= 5x)")
+    ops_semiring, ops_nodes = INSTANCES[0]
+    emit(
+        "seminaive",
+        records,
+        summary={
+            "largest_speedup": _speedup(largest),
+            "required_speedup": 5.0,
+            "instances": [{"semiring": s.name, "nodes": n} for s, n in INSTANCES],
+            "semiring_ops": {
+                "workload": f"semi-naive TC ({ops_semiring.name}, nodes={ops_nodes})",
+                **_seminaive_ops(ops_semiring, ops_nodes),
+            },
+        },
+    )
     check_speedup(_speedup(largest), 5.0, "semi-naive win on the largest instance")
 
 

@@ -1,0 +1,99 @@
+"""Machine-readable benchmark reports: ``BENCH_<name>.json`` emission.
+
+Every ``bench_*.py`` main() prints its human-readable table *and* calls
+:func:`emit` with its record dicts, producing one ``BENCH_<name>.json`` per
+benchmark next to the repository root (override the directory with
+``REPRO_BENCH_OUT``).  The JSON carries the instance parameters, raw
+timings, derived speedups and -- where the benchmark provides them --
+semiring-operation counts measured with
+:class:`repro.obs.semiring.InstrumentedSemiring`, so successive runs can be
+diffed mechanically and CI can upload the files as artifacts.
+
+The helpers :func:`ops_snapshot` / :func:`consing_snapshot` run a workload
+under the instrumented-semiring wrapper / the circuit hash-consing counters
+and return the counts; benchmarks use them on a representative instance so
+op counts (which are deterministic) ride along with the wall-clock numbers
+(which are not).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Any, Callable, Dict, List
+
+__all__ = ["emit", "output_path", "ops_snapshot", "consing_snapshot"]
+
+
+def output_path(name: str) -> str:
+    """Where ``BENCH_<name>.json`` goes: repo root, or ``REPRO_BENCH_OUT``."""
+    out_dir = os.environ.get("REPRO_BENCH_OUT")
+    if not out_dir:
+        out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
+    return os.path.abspath(os.path.join(out_dir, f"BENCH_{name}.json"))
+
+
+def emit(
+    name: str,
+    records: List[Dict[str, Any]],
+    *,
+    summary: Dict[str, Any] | None = None,
+) -> str:
+    """Write a benchmark's machine-readable report; return the file path.
+
+    ``records`` are the benchmark's per-instance dicts as-is (values that are
+    not JSON-native degrade to ``str``); ``summary`` carries whole-run facts
+    such as the acceptance speedup and semiring-op counts.
+    """
+    payload: Dict[str, Any] = {
+        "benchmark": name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": records,
+    }
+    if summary is not None:
+        payload["summary"] = summary
+    path = output_path(name)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+    return path
+
+
+def ops_snapshot(semiring, run: Callable[[Any], Any]) -> Dict[str, int]:
+    """Semiring-op counts of ``run(instrumented)`` over a counting wrapper.
+
+    ``run`` receives an annotation-identical instrumented view of
+    ``semiring`` and should execute the representative workload against it
+    (instrumented and plain relations interoperate -- semirings are compared
+    by name).  Returns the ``plus``/``times``/``is_zero`` call counts.
+    """
+    from repro.obs import InstrumentedSemiring, OpCounter
+
+    ops = OpCounter()
+    run(InstrumentedSemiring(semiring, ops))
+    return ops.snapshot()
+
+
+def consing_snapshot(run: Callable[[], Any]) -> Dict[str, float]:
+    """Circuit hash-consing hits/misses/hit-rate accumulated during ``run()``."""
+    from repro.obs.metrics import consing
+
+    was_enabled = consing.enabled
+    before_hits, before_misses = consing.hits, consing.misses
+    consing.enabled = True
+    try:
+        run()
+    finally:
+        consing.enabled = was_enabled
+    hits = consing.hits - before_hits
+    misses = consing.misses - before_misses
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }

@@ -130,6 +130,13 @@ from repro.incremental import (
     view_delta,
 )
 from repro.engine import compile_query, execute
+from repro.obs import (
+    InstrumentedSemiring,
+    OpCounter,
+    explain_analyze,
+    instrument,
+    tracing,
+)
 from repro.planner import (
     CostModel,
     OptimizationReport,
@@ -221,6 +228,12 @@ __all__ = [
     # engine
     "compile_query",
     "execute",
+    # observability
+    "tracing",
+    "instrument",
+    "InstrumentedSemiring",
+    "OpCounter",
+    "explain_analyze",
     # planner
     "optimize",
     "explain",

@@ -25,7 +25,12 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.algebra import operators
-from repro.algebra.predicates import Predicate, attr_eq, attr_eq_const
+from repro.algebra.predicates import (
+    Predicate,
+    attr_eq,
+    attr_eq_const,
+    describe_predicate,
+)
 from repro.errors import QueryError
 from repro.relations.database import Database
 from repro.relations.krelation import KRelation
@@ -105,6 +110,39 @@ class Query:
         from repro.planner import optimize as _optimize
 
         return _optimize(self, database, **options)
+
+    def explain(
+        self,
+        database: Database | None = None,
+        *,
+        analyze: bool = False,
+        **options,
+    ):
+        """Explain this query: the planner's report, or executed actuals.
+
+        With ``analyze=False`` (default) this returns the logical planner's
+        :class:`~repro.planner.optimizer.OptimizationReport` -- applied
+        rewrite rules and cost estimates, nothing is executed.  With
+        ``analyze=True`` the optimized plan is compiled to the pipelined
+        engine and **executed** with full observation, returning an
+        :class:`~repro.obs.explain.ExplainAnalyzeReport`: the physical
+        operator tree annotated with actual rows, wall time, hash-join
+        build/probe sizes and semiring-op counts (``report.result`` holds
+        the query's K-relation).  ``options`` forward to the planner.
+        """
+        if analyze:
+            if database is None:
+                raise QueryError("explain(analyze=True) requires a database")
+            from repro.obs.explain import explain_analyze as _explain_analyze
+
+            return _explain_analyze(self, database, **options)
+        from repro.planner import explain as _explain
+
+        return _explain(self, database, **options)
+
+    def explain_analyze(self, database: Database, **options):
+        """Shorthand for :meth:`explain` with ``analyze=True``."""
+        return self.explain(database, analyze=True, **options)
 
     def __call__(
         self,
@@ -234,7 +272,7 @@ class Select(Query):
     def __init__(self, child: Query, predicate: Callable[[Tup], Any], *, description: str | None = None):
         self.child = child
         self.predicate = predicate
-        self.description = description or getattr(predicate, "__name__", "P")
+        self.description = description or describe_predicate(predicate)
 
     def _execute(self, database: Database) -> KRelation:
         return operators.select(self.child.evaluate(database), self.predicate)

@@ -47,6 +47,7 @@ __all__ = [
     "Negation",
     "OpaquePredicate",
     "as_predicate",
+    "describe_predicate",
     "true",
     "false",
     "attr_eq",
@@ -478,12 +479,42 @@ class OpaquePredicate(BasePredicate):
     def signature(self) -> tuple:
         return ("opaque", id(self.function))
 
+    def __str__(self) -> str:
+        return f"opaque:{_callable_label(self.function)}"
+
 
 def as_predicate(predicate: Predicate) -> BasePredicate:
     """Wrap a plain callable as an :class:`OpaquePredicate` (no-op when structured)."""
     if isinstance(predicate, BasePredicate):
         return predicate
     return OpaquePredicate(predicate)
+
+
+def _callable_label(function: Callable[..., Any]) -> str:
+    """A deterministic name for a plain callable (no memory addresses)."""
+    name = getattr(function, "__qualname__", None) or getattr(
+        function, "__name__", None
+    )
+    if name is None:
+        name = type(function).__qualname__
+    # Qualnames of closures carry a "<locals>" path; keep it -- it is stable
+    # across runs -- but drop any lambda line noise beyond the qualname.
+    return name
+
+
+def describe_predicate(predicate: Predicate) -> str:
+    """A deterministic human-readable rendering of any predicate.
+
+    Structured predicates render via their ``__str__`` (e.g. ``a = b``,
+    ``(a = 1) ∧ (b < 2)``); plain callables and :class:`OpaquePredicate`
+    wrappers render as ``opaque:<qualname>`` -- stable across processes,
+    unlike the default ``<function f at 0x...>`` repr, so plan explains and
+    rewrite traces containing opaque predicates are reproducible and can be
+    golden-tested.
+    """
+    if isinstance(predicate, BasePredicate):
+        return str(predicate)
+    return f"opaque:{_callable_label(predicate)}"
 
 
 # ---------------------------------------------------------------------------

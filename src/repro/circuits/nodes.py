@@ -38,6 +38,7 @@ import weakref
 from typing import Any, Dict, Iterable, Iterator, List, Tuple
 
 from repro.errors import InvalidAnnotationError
+from repro.obs.metrics import consing as _consing
 from repro.semirings.numeric import NatInf
 
 __all__ = [
@@ -125,9 +126,13 @@ class Prod(Node):
 def _intern(key: tuple, build) -> Node:
     node = _INTERN.get(key)
     if node is None:
+        if _consing.enabled:
+            _consing.misses += 1
         node = build()
         object.__setattr__(node, "_id", next(_IDS))
         _INTERN[key] = node
+    elif _consing.enabled:
+        _consing.hits += 1
     return node
 
 

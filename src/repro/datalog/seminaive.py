@@ -58,6 +58,7 @@ from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from repro.engine.kernels import combine_contributions
 from repro.errors import DatalogError, DivergenceError
+from repro.obs import trace as _trace
 from repro.datalog.fixpoint import (
     DEFAULT_MAX_ITERATIONS,
     DatalogResult,
@@ -452,10 +453,17 @@ class _SemiNaiveEngine:
         Returns the number of rounds executed (the seed round counts, and so
         does the final round that merges an empty delta).
         """
-        out = self._fresh()
-        for plan in self.seed_plans:
-            self._fire(plan, self.stores[plan.driver.predicate].rows, out)
-        delta = self._merge(out)
+        with _trace.span(
+            "datalog.seed",
+            mode="collect" if self.collect else "annotate",
+            plans=len(self.seed_plans),
+        ) as sp:
+            out = self._fresh()
+            for plan in self.seed_plans:
+                self._fire(plan, self.stores[plan.driver.predicate].rows, out)
+            delta = self._merge(out)
+            if _trace.enabled():
+                sp.set(delta_rows=sum(len(rows) for rows in delta.values()))
         return self._drain(delta, max_iterations, iterations=1)
 
     def _fresh(self) -> Dict[str, Dict[tuple, Any]]:
@@ -476,13 +484,19 @@ class _SemiNaiveEngine:
                     f"converge within {max_iterations} iterations"
                 )
             iterations += 1
-            out = self._fresh()
-            for predicate, rows in delta.items():
-                if not rows:
-                    continue
-                for plan in self.delta_plans[predicate]:
-                    self._fire(plan, rows, out)
-            delta = self._merge(out)
+            with _trace.span("datalog.round", round=iterations) as sp:
+                if _trace.enabled():
+                    sp.set(
+                        delta_rows=sum(len(rows) for rows in delta.values()),
+                        delta_predicates=sum(1 for rows in delta.values() if rows),
+                    )
+                out = self._fresh()
+                for predicate, rows in delta.items():
+                    if not rows:
+                        continue
+                    for plan in self.delta_plans[predicate]:
+                        self._fire(plan, rows, out)
+                delta = self._merge(out)
         return iterations
 
     def apply_edb_delta(

@@ -56,15 +56,17 @@ from repro.algebra.predicates import (
     FalsePredicate,
     Negation,
     TruePredicate,
+    describe_predicate,
 )
 from repro.algebra.operators import validate_rename
 from repro.engine.kernels import build_relation, hash_join_rows
 from repro.errors import QueryError, SchemaError
+from repro.obs import trace as _trace
 from repro.relations.database import Database
 from repro.relations.krelation import KRelation
 from repro.relations.tuples import Tup
 
-__all__ = ["compile_query", "execute"]
+__all__ = ["compile_query", "execute", "drain"]
 
 #: Selectivity assumed for a fused predicate when sizing join build sides
 #: (mirrors the planner's :data:`repro.planner.cost.DEFAULT_SELECTIVITY`).
@@ -82,9 +84,24 @@ class _Node:
     (``None`` = identity) maps raw rows to output rows and ``attrs`` names
     the output columns (renames change only the names).  ``estimate`` is the
     compile-time output-cardinality estimate driving build-side selection.
+
+    ``observer`` is the per-execution observability hook
+    (:class:`repro.obs.explain.ExecutionObserver`): ``None`` in ordinary
+    runs (the only cost is one attribute check per *operator*, never per
+    row), set by ``explain(analyze=True)`` to collect actual rows, wall
+    time and semiring-op counts per node.  ``filter_labels`` keeps the
+    human-readable form of each fused predicate for plan rendering.
     """
 
-    __slots__ = ("natural_attrs", "attrs", "out_positions", "filters", "estimate")
+    __slots__ = (
+        "natural_attrs",
+        "attrs",
+        "out_positions",
+        "filters",
+        "estimate",
+        "observer",
+        "filter_labels",
+    )
 
     def __init__(self, natural_attrs: Tuple[str, ...], estimate: float):
         self.natural_attrs = natural_attrs
@@ -92,6 +109,8 @@ class _Node:
         self.out_positions: Tuple[int, ...] | None = None
         self.filters: List[Filter] = []
         self.estimate = estimate
+        self.observer = None
+        self.filter_labels: List[str] = []
 
     # -- envelope -------------------------------------------------------------
     def natural_position(self, attribute: str) -> int | None:
@@ -115,7 +134,19 @@ class _Node:
         raise NotImplementedError
 
     def rows(self, database: Database) -> Iterator[Tuple[Row, Any]]:
-        """Output rows: raw rows through the fused envelope."""
+        """Output rows: raw rows through the fused envelope.
+
+        With an observer attached the stream is wrapped to record per-node
+        output cardinality and cumulative wall time; otherwise the iterator
+        is returned untouched (no per-row observability cost).
+        """
+        iterator = self._envelope_rows(database)
+        observer = self.observer
+        if observer is None:
+            return iterator
+        return observer.observe_rows(self, iterator)
+
+    def _envelope_rows(self, database: Database) -> Iterator[Tuple[Row, Any]]:
         filters = tuple(self.filters)
         out = self.out_positions
         if not filters and out is None:
@@ -213,14 +244,21 @@ class _HashJoin(_Node):
         self.build_is_left = left.estimate <= right.estimate
 
     def produce(self, database: Database) -> Iterator[Tuple[Row, Any]]:
+        mul = database.semiring.mul
+        observer = self.observer
+        stats = None
+        if observer is not None:
+            mul = observer.counted_mul(self, mul)
+            stats = observer.join_stats(self)
         yield from hash_join_rows(
-            database.semiring.mul,
+            mul,
             self.left.rows(database),
             self.right.rows(database),
             self.left_key,
             self.right_key,
             self.right_extra,
             self.build_is_left,
+            stats=stats,
         )
 
 
@@ -344,6 +382,7 @@ def compile_query(query: Query, database: Database) -> _Node:
     if isinstance(query, Select):
         node = compile_query(query.child, database)
         node.filters.append(_compile_predicate(query.predicate, node))
+        node.filter_labels.append(describe_predicate(query.predicate))
         node.estimate *= _FILTER_SELECTIVITY
         return node
     if isinstance(query, Project):
@@ -389,7 +428,19 @@ def execute(query: Query, database: Database) -> KRelation:
     materialized as a K-relation (the stored-zero invariant of Definition
     3.1 is enforced by the batch combiner).
     """
-    root = compile_query(query, database)
+    if not _trace.enabled():
+        root = compile_query(query, database)
+        return drain(root, database)
+    with _trace.span("engine.compile"):
+        root = compile_query(query, database)
+    with _trace.span("engine.execute", semiring=database.semiring.name) as sp:
+        result = drain(root, database)
+        sp.set(out_rows=len(result))
+        return result
+
+
+def drain(root: _Node, database: Database) -> KRelation:
+    """Run a compiled plan to completion: the single pipeline breaker."""
     groups: Dict[tuple, List[Any]] = {}
     for row, annotation in root.rows(database):
         batch = groups.get(row)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from repro.errors import QueryError
+from repro.obs import trace as _trace
 from repro.relations.krelation import KRelation
 from repro.relations.schema import Schema
 from repro.relations.tuples import Tup
@@ -108,6 +109,13 @@ def build_relation(
     return result
 
 
+def _counted(rows: Iterable[Tuple[tuple, Any]], stats: Any) -> Iterable[Tuple[tuple, Any]]:
+    """Count probe rows as they stream past (only used in observed mode)."""
+    for item in rows:
+        stats.probe_size += 1
+        yield item
+
+
 def hash_join_rows(
     mul: Callable[[Any, Any], Any],
     left_rows: Iterable[Tuple[tuple, Any]],
@@ -116,6 +124,7 @@ def hash_join_rows(
     right_key: Tuple[int, ...],
     right_extra: Tuple[int, ...],
     build_is_left: bool,
+    stats: Any = None,
 ) -> Iterable[Tuple[tuple, Any]]:
     """The shared hash-join probe loop on positional rows.
 
@@ -128,6 +137,11 @@ def hash_join_rows(
     consumed.  Both the relation-level kernel (:func:`join_relations`) and
     the pipelined plan compiler's join node delegate here, so the join
     semantics live in exactly one place.
+
+    ``stats``, when given, is an object with ``build_size`` / ``probe_size``
+    counters (see :class:`repro.obs.explain.NodeStats`); the build size is
+    recorded once the index is loaded and probe rows are counted as they
+    stream through.  The default ``None`` keeps the loop unobserved.
     """
     if build_is_left:
         build_rows, build_key = left_rows, left_key
@@ -141,6 +155,9 @@ def hash_join_rows(
         index.setdefault(tuple(row[i] for i in build_key), []).append(
             (row, annotation)
         )
+    if stats is not None:
+        stats.build_size += sum(len(bucket) for bucket in index.values())
+        probe_rows = _counted(probe_rows, stats)
     if not index:
         return
 
@@ -168,6 +185,17 @@ def join_relations(left: KRelation, right: KRelation) -> KRelation:
     construction) and combines duplicate-output contributions with one
     ``+``-chain per output tuple.
     """
+    if not _trace.enabled():
+        return _join_relations(left, right)
+    with _trace.span(
+        "kernel.join", left_rows=len(left), right_rows=len(right)
+    ) as sp:
+        result = _join_relations(left, right)
+        sp.set(out_rows=len(result))
+        return result
+
+
+def _join_relations(left: KRelation, right: KRelation) -> KRelation:
     if left.semiring.name != right.semiring.name:
         raise QueryError(
             f"cannot combine relations over different semirings "
@@ -209,6 +237,15 @@ def join_relations(left: KRelation, right: KRelation) -> KRelation:
 
 def project_relation(relation: KRelation, attributes: Iterable[str]) -> KRelation:
     """Projection kernel with batched accumulation of merged tuples."""
+    if not _trace.enabled():
+        return _project_relation(relation, attributes)
+    with _trace.span("kernel.project", in_rows=len(relation)) as sp:
+        result = _project_relation(relation, attributes)
+        sp.set(out_rows=len(result))
+        return result
+
+
+def _project_relation(relation: KRelation, attributes: Iterable[str]) -> KRelation:
     target_schema = relation.schema.project(attributes)
     attrs, rows = relation_rows(relation)
     keep = tuple(attrs.index(a) for a in sorted(target_schema.attribute_set))

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.errors import DatalogError
+from repro.obs import trace as _trace
 from repro.datalog.fixpoint import DEFAULT_MAX_ITERATIONS, DatalogResult
 from repro.datalog.grounding import GroundAtom, GroundProgram
 from repro.datalog.seminaive import _SemiNaiveEngine, solve_ground_seminaive
@@ -165,6 +166,20 @@ class IncrementalDatalog:
         base, updates = self._coerce_updates(predicate, rows)
         if not updates:
             return self.result
+        with _trace.span(
+            "incremental.insert", predicate=predicate, updates=len(updates)
+        ) as sp:
+            rounds_before = self._rounds
+            result = self._insert(predicate, base, updates)
+            sp.set(rounds=self._rounds - rounds_before)
+            return result
+
+    def _insert(
+        self,
+        predicate: str,
+        base: KRelation,
+        updates: List[Tuple[Tup, Any]],
+    ) -> DatalogResult:
         if self._idempotent:
             # The engine's EDB store *is* the database relation, so the merge
             # inside apply_edb_delta updates both in one step.  (Idempotent

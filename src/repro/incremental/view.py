@@ -37,6 +37,7 @@ from repro.algebra.ast import (
     Union,
 )
 from repro.errors import QueryError
+from repro.obs import trace as _trace
 from repro.incremental.delta import (
     UpdateBatch,
     apply_batch_to_database,
@@ -258,7 +259,9 @@ class MaterializedView:
             self.plan = _optimize(query, database)
         else:
             self.plan = query
-        self._root = _build(self.plan, database, executor)
+        with _trace.span("view.build", view=name, executor=executor) as sp:
+            self._root = _build(self.plan, database, executor)
+            sp.set(rows=len(self._root.relation))
         #: ``"incremental"`` or ``"recompute"`` -- how the last :meth:`apply`
         #: ran (``None`` before the first apply).
         self.last_apply_mode: str | None = None
@@ -295,13 +298,20 @@ class MaterializedView:
             self.last_apply_mode = "incremental"
             return {}
         if batch.has_deletions and not self.supports_deletions:
-            return self._apply_by_recompute(batch)
-        deltas = batch_deltas(self.database, batch)
-        apply_batch_to_database(self.database, batch)
-        changed: Dict[Tup, Any] = {}
-        _propagate(self._root, deltas, changed, executor=self.executor)
-        self.last_apply_mode = "incremental"
-        return changed
+            with _trace.span(
+                "view.apply", view=self.name, mode="recompute"
+            ) as sp:
+                changed = self._apply_by_recompute(batch)
+                sp.set(changed=len(changed))
+                return changed
+        with _trace.span("view.apply", view=self.name, mode="incremental") as sp:
+            deltas = batch_deltas(self.database, batch)
+            apply_batch_to_database(self.database, batch)
+            changed: Dict[Tup, Any] = {}
+            _propagate(self._root, deltas, changed, executor=self.executor)
+            self.last_apply_mode = "incremental"
+            sp.set(changed=len(changed))
+            return changed
 
     def _apply_by_recompute(self, batch: UpdateBatch) -> Dict[Tup, Any]:
         touched = batch.touched_relations

@@ -1,0 +1,96 @@
+"""Span sinks: where finished :class:`~repro.obs.trace.SpanRecord`s go.
+
+Three zero-dependency sinks cover the intended uses:
+
+* :class:`InMemorySink` -- a list, for tests and programmatic analysis;
+* :class:`JsonlSink` -- one JSON object per line, the machine-readable trace
+  format CI's tracing-on smoke job produces and uploads;
+* :class:`StderrSink` -- indented human-readable lines for eyeballing a run.
+
+A sink is anything with ``emit(record: SpanRecord) -> None``; custom sinks
+plug in via :func:`repro.obs.trace.enable` / ``add_sink``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, List
+
+from repro.obs.trace import SpanRecord
+
+__all__ = ["InMemorySink", "JsonlSink", "StderrSink"]
+
+
+class InMemorySink:
+    """Collect finished spans in a list (the default sink of ``tracing()``)."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+
+    def emit(self, record: SpanRecord) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def find(self, name: str) -> List[SpanRecord]:
+        """All recorded spans with the given name, in completion order."""
+        return [record for record in self.records if record.name == name]
+
+    def names(self) -> List[str]:
+        """Span names in completion order (children complete before parents)."""
+        return [record.name for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+class JsonlSink:
+    """Append finished spans to a file, one JSON object per line.
+
+    The file is opened lazily on the first span and line-buffered, so traces
+    survive a crashed process up to the last completed span.  Values that are
+    not JSON-serializable (semiring elements, circuit nodes) degrade to their
+    ``str`` rendering rather than failing the traced program.
+    """
+
+    __slots__ = ("path", "_file")
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file = None
+
+    def emit(self, record: SpanRecord) -> None:
+        if self._file is None:
+            self._file = open(self.path, "a", buffering=1, encoding="utf-8")
+        self._file.write(json.dumps(record.to_dict(), default=str) + "\n")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class StderrSink:
+    """Print one indented line per finished span to stderr."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: Any = None):
+        self.stream = stream
+
+    def emit(self, record: SpanRecord) -> None:
+        stream = self.stream if self.stream is not None else sys.stderr
+        attrs = " ".join(f"{k}={v}" for k, v in record.attributes.items())
+        indent = "  " * record.depth
+        print(
+            f"{indent}{record.name} {record.duration * 1e3:.3f}ms"
+            + (f" [{attrs}]" if attrs else ""),
+            file=stream,
+        )

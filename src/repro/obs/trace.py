@@ -1,0 +1,275 @@
+"""A zero-dependency, context-manager span tracer with a no-op fast path.
+
+Tracing is **disabled by default** and designed so that instrumented code
+pays almost nothing while it stays off: :func:`span` checks one module-level
+flag and returns a shared no-op singleton, so a ``with span(...)`` at an
+instrumentation site costs one function call and two no-op method calls.
+All instrumentation sites in the engine sit at *operator/round* granularity
+(a kernel invocation, a datalog round, a planner pass) -- never inside
+per-tuple loops -- which is what keeps the tracing-off overhead under the
+5% budget asserted by ``benchmarks/bench_obs_overhead.py``.
+
+Enabled, the tracer records **nested spans**: every ``with span(name, **attrs)``
+block gets a wall-clock duration (``time.perf_counter``), a depth and a
+parent id from the currently open spans, and user attributes (set at creation
+or later via :meth:`Span.set` -- e.g. output cardinalities known only at the
+end of the block).  Finished spans are emitted to pluggable sinks
+(:mod:`repro.obs.sinks`): in-memory for tests and programmatic inspection,
+JSONL files for machine-readable traces, stderr for eyeballing.
+
+Environment activation: setting ``REPRO_TRACE`` turns tracing on at import
+time -- ``REPRO_TRACE=stderr`` attaches the stderr sink, any other value is
+taken as a JSONL output path.  This is how CI's tracing-on smoke job runs
+the whole test suite under the JSONL sink without touching any code.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Iterator, List
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "span",
+    "enabled",
+    "enable",
+    "disable",
+    "add_sink",
+    "remove_sink",
+    "active_sinks",
+    "tracing",
+]
+
+
+class SpanRecord:
+    """One finished span: name, timing, nesting links, and user attributes."""
+
+    __slots__ = ("name", "start", "duration", "depth", "span_id", "parent_id", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        depth: int,
+        span_id: int,
+        parent_id: int | None,
+        attributes: Dict[str, Any],
+    ):
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.depth = depth
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-friendly flat representation (used by the JSONL sink)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpanRecord {self.name!r} {self.duration * 1e3:.3f}ms "
+            f"depth={self.depth} attrs={self.attributes}>"
+        )
+
+
+class _State:
+    """Module-level tracer state (one tracer per process, like logging)."""
+
+    __slots__ = ("enabled", "sinks", "stack", "next_id")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.sinks: List[Any] = []
+        self.stack: List["Span"] = []
+        self.next_id = 0
+
+
+_STATE = _State()
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """A live span; use as a context manager.  Not created directly -- call
+    :func:`span`, which routes through the no-op fast path when tracing is off.
+    """
+
+    __slots__ = ("name", "attributes", "span_id", "parent_id", "depth", "_start")
+
+    def __init__(self, name: str, attributes: Dict[str, Any]):
+        self.name = name
+        self.attributes = attributes
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self.depth = 0
+        self._start = 0.0
+
+    def set(self, **attributes: Any) -> "Span":
+        """Merge attributes into the span (chainable); later keys win."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        state = _STATE
+        self.parent_id = state.stack[-1].span_id if state.stack else None
+        self.depth = len(state.stack)
+        self.span_id = state.next_id
+        state.next_id += 1
+        state.stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        duration = time.perf_counter() - self._start
+        state = _STATE
+        # Tolerate exceptions unwinding several spans at once.
+        while state.stack and state.stack[-1] is not self:
+            state.stack.pop()
+        if state.stack:
+            state.stack.pop()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        record = SpanRecord(
+            self.name,
+            self._start,
+            duration,
+            self.depth,
+            self.span_id,
+            self.parent_id,
+            self.attributes,
+        )
+        for sink in state.sinks:
+            sink.emit(record)
+        return False
+
+
+def enabled() -> bool:
+    """Whether tracing is currently on (the flag every hot-path gate checks)."""
+    return _STATE.enabled
+
+
+def span(name: str, **attributes: Any):
+    """Open a span (usable as ``with span("engine.execute", rows=n) as sp``).
+
+    The no-op fast path: while tracing is disabled this returns a shared
+    inert singleton without allocating anything.
+    """
+    if not _STATE.enabled:
+        return NOOP_SPAN
+    return Span(name, attributes)
+
+
+def _sync_metrics(on: bool) -> None:
+    # Hash-consing counters live next to the hottest loop in the system
+    # (circuit node interning) and are gated by their own flag; tracing
+    # toggles them in lockstep so a traced run gets consing hit rates for
+    # free.  An explicit metrics.consing.enable() still works independently.
+    from repro.obs import metrics
+
+    metrics.consing.enabled = on
+
+
+def enable(*sinks: Any) -> None:
+    """Turn tracing on, attaching ``sinks`` (keeps any already attached)."""
+    for sink in sinks:
+        if sink not in _STATE.sinks:
+            _STATE.sinks.append(sink)
+    _STATE.enabled = True
+    _sync_metrics(True)
+
+
+def disable() -> None:
+    """Turn tracing off (sinks stay attached but receive nothing)."""
+    _STATE.enabled = False
+    _sync_metrics(False)
+
+
+def add_sink(sink: Any) -> None:
+    """Attach a sink without changing the enabled flag."""
+    if sink not in _STATE.sinks:
+        _STATE.sinks.append(sink)
+
+
+def remove_sink(sink: Any) -> None:
+    """Detach a sink (no error if absent)."""
+    if sink in _STATE.sinks:
+        _STATE.sinks.remove(sink)
+
+
+def active_sinks() -> tuple:
+    """The currently attached sinks."""
+    return tuple(_STATE.sinks)
+
+
+class tracing:
+    """Scoped tracing: ``with tracing() as sink: ...`` enables tracing with an
+    in-memory sink (or the sinks you pass) and restores the previous tracer
+    state -- enabled flag and sink list -- on exit.
+    """
+
+    __slots__ = ("_sinks", "_prev_enabled", "_prev_sinks")
+
+    def __init__(self, *sinks: Any):
+        if not sinks:
+            from repro.obs.sinks import InMemorySink
+
+            sinks = (InMemorySink(),)
+        self._sinks = sinks
+
+    def __enter__(self):
+        self._prev_enabled = _STATE.enabled
+        self._prev_sinks = list(_STATE.sinks)
+        _STATE.sinks = list(self._sinks)
+        _STATE.enabled = True
+        _sync_metrics(True)
+        return self._sinks[0] if len(self._sinks) == 1 else self._sinks
+
+    def __exit__(self, *exc: Any) -> bool:
+        _STATE.enabled = self._prev_enabled
+        _STATE.sinks = self._prev_sinks
+        _sync_metrics(self._prev_enabled)
+        return False
+
+
+def _enable_from_environment() -> None:
+    """Activate tracing from ``REPRO_TRACE`` (called by ``repro.obs`` once the
+    sink module has fully loaded -- the sinks import back the record type, so
+    activating here at module scope would be a circular import)."""
+    target = os.environ.get("REPRO_TRACE")
+    if not target:
+        return
+    from repro.obs import sinks as _sinks
+
+    if target.strip().lower() == "stderr":
+        enable(_sinks.StderrSink())
+    else:
+        enable(_sinks.JsonlSink(target))

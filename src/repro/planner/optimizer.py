@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.algebra.ast import Query
+from repro.obs import trace as _trace
 from repro.planner.cost import CostModel, Statistics
 from repro.planner.plans import catalog_of, infer_attributes, plan_signature
 from repro.planner.reorder import reorder_joins
@@ -97,10 +98,13 @@ def _pipeline(
     reorder: bool,
     max_passes: int,
 ) -> Query:
-    plan = rewrite_fixpoint(query, ctx, max_passes)
+    with _trace.span("planner.rewrite") as sp:
+        plan = rewrite_fixpoint(query, ctx, max_passes)
+        sp.set(rules=len(ctx.trace))
     if reorder:
-        plan = reorder_joins(plan, model)
-        plan = rewrite_fixpoint(plan, ctx, max_passes)
+        with _trace.span("planner.reorder"):
+            plan = reorder_joins(plan, model)
+            plan = rewrite_fixpoint(plan, ctx, max_passes)
     return plan
 
 

@@ -1,0 +1,28 @@
+"""Tracer-state hygiene: every test starts and ends with a pristine tracer."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.metrics import consing
+
+
+@pytest.fixture(autouse=True)
+def _pristine_tracer():
+    """Snapshot and restore the module-level tracer state around each test.
+
+    ``disable()`` deliberately keeps sinks attached (so a paused trace can
+    resume), which would otherwise leak sinks between tests that call
+    ``enable`` directly instead of using the ``tracing()`` scope.
+    """
+    prev_enabled = trace._STATE.enabled
+    prev_sinks = list(trace._STATE.sinks)
+    prev_consing = consing.enabled
+    trace._STATE.enabled = False
+    trace._STATE.sinks = []
+    consing.enabled = False
+    consing.reset()
+    yield
+    trace._STATE.enabled = prev_enabled
+    trace._STATE.sinks = prev_sinks
+    trace._STATE.stack = []
+    consing.enabled = prev_consing

@@ -1,0 +1,237 @@
+"""Span tracer unit tests: nesting, sinks, the no-op fast path, env setup."""
+
+import json
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.metrics import consing
+from repro.obs.sinks import InMemorySink, JsonlSink, StderrSink
+from repro.obs.trace import (
+    NOOP_SPAN,
+    SpanRecord,
+    _enable_from_environment,
+    active_sinks,
+    add_sink,
+    disable,
+    enable,
+    enabled,
+    remove_sink,
+    span,
+)
+
+
+class TestNoopFastPath:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert not enabled()
+        assert span("anything") is NOOP_SPAN
+        assert span("other", attr=1) is NOOP_SPAN
+
+    def test_noop_span_is_inert(self):
+        with span("nothing", a=1) as sp:
+            sp.set(b=2)  # must not raise, must not record
+        assert sp is NOOP_SPAN
+
+    def test_enable_disable_roundtrip(self):
+        sink = InMemorySink()
+        enable(sink)
+        try:
+            assert enabled()
+            assert span("live") is not NOOP_SPAN
+        finally:
+            disable()
+        assert not enabled()
+        assert span("dead") is NOOP_SPAN
+
+
+class TestNesting:
+    def test_parent_and_depth(self):
+        with tracing() as sink:
+            with span("outer"):
+                with span("middle"):
+                    with span("inner"):
+                        pass
+        # Children finish (and are emitted) before parents: emission order is
+        # inner-first, so sort by depth to name them.
+        records = sorted(sink.records, key=lambda r: r.depth)
+        outer, middle, inner = records
+        assert [r.name for r in records] == ["outer", "middle", "inner"]
+        assert outer.parent_id is None and outer.depth == 0
+        assert middle.parent_id == outer.span_id and middle.depth == 1
+        assert inner.parent_id == middle.span_id and inner.depth == 2
+
+    def test_siblings_share_parent(self):
+        with tracing() as sink:
+            with span("parent"):
+                with span("first"):
+                    pass
+                with span("second"):
+                    pass
+        by_name = {r.name: r for r in sink.records}
+        parent = by_name["parent"]
+        assert by_name["first"].parent_id == parent.span_id
+        assert by_name["second"].parent_id == parent.span_id
+        assert by_name["first"].span_id != by_name["second"].span_id
+
+    def test_attributes_and_set(self):
+        with tracing() as sink:
+            with span("op", rows=3) as sp:
+                sp.set(out_rows=7)
+        (record,) = sink.records
+        assert record.attributes == {"rows": 3, "out_rows": 7}
+        assert record.duration >= 0.0
+
+    def test_stack_unwinds_on_exception(self):
+        with tracing() as sink:
+            with pytest.raises(ValueError):
+                with span("outer"):
+                    with span("failing"):
+                        raise ValueError("boom")
+            with span("after"):
+                pass
+        by_name = {r.name: r for r in sink.records}
+        # Both spans closed despite the exception, and the stack is clean:
+        # "after" is a root span again.
+        assert set(by_name) == {"outer", "failing", "after"}
+        assert by_name["failing"].attributes.get("error") == "ValueError"
+        assert by_name["after"].parent_id is None and by_name["after"].depth == 0
+
+
+class TestTracingScope:
+    def test_default_sink_is_fresh_in_memory(self):
+        with tracing() as sink:
+            assert isinstance(sink, InMemorySink)
+            with span("x"):
+                pass
+        assert len(sink) == 1
+        assert not enabled()
+
+    def test_restores_prior_state(self):
+        outer_sink = InMemorySink()
+        enable(outer_sink)
+        try:
+            with tracing() as inner_sink:
+                with span("inner-only"):
+                    pass
+            # Outer tracing state restored, inner spans stayed in inner sink.
+            assert enabled()
+            assert active_sinks() == (outer_sink,)
+            assert inner_sink.names() == ["inner-only"]
+            assert len(outer_sink) == 0
+        finally:
+            disable()
+
+    def test_find_and_names_helpers(self):
+        with tracing() as sink:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+            with span("a"):
+                pass
+        assert sink.names() == ["a", "b", "a"]
+        assert len(sink.find("a")) == 2
+        sink.clear()
+        assert len(sink) == 0
+
+
+class TestSinks:
+    def test_add_remove_sink(self):
+        first, second = InMemorySink(), InMemorySink()
+        enable(first)
+        try:
+            add_sink(second)
+            with span("both"):
+                pass
+            remove_sink(second)
+            with span("one"):
+                pass
+        finally:
+            disable()
+        assert first.names() == ["both", "one"]
+        assert second.names() == ["both"]
+
+    def test_jsonl_sink_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        enable(sink)
+        try:
+            with span("outer", semiring="N"):
+                with span("inner"):
+                    pass
+        finally:
+            disable()
+            sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["outer"]["attributes"] == {"semiring": "N"}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_stderr_sink_indents_by_depth(self, capsys):
+        enable(StderrSink())
+        try:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        finally:
+            disable()
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines() if line.strip()]
+        assert any(line.startswith("  ") and "inner" in line for line in lines)
+        assert any(not line.startswith(" ") and "outer" in line for line in lines)
+
+
+class TestMetricsSync:
+    def test_consing_stats_follow_tracing(self):
+        assert not consing.enabled
+        with tracing():
+            assert consing.enabled
+        assert not consing.enabled
+
+
+class TestEnvironmentSetup:
+    def test_repro_trace_jsonl(self, tmp_path, monkeypatch):
+        path = tmp_path / "env-trace.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        _enable_from_environment()
+        try:
+            assert enabled()
+            (sink,) = active_sinks()
+            assert isinstance(sink, JsonlSink)
+            with span("from-env"):
+                pass
+            sink.close()
+        finally:
+            disable()
+        assert "from-env" in path.read_text()
+
+    def test_repro_trace_stderr(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "stderr")
+        _enable_from_environment()
+        try:
+            (sink,) = active_sinks()
+            assert isinstance(sink, StderrSink)
+        finally:
+            disable()
+
+    def test_repro_trace_unset_is_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        _enable_from_environment()
+        assert not enabled()
+
+
+def test_span_record_to_dict_is_json_ready():
+    record = SpanRecord(
+        name="n",
+        start=0.0,
+        duration=0.5,
+        depth=0,
+        span_id=1,
+        parent_id=None,
+        attributes={"k": "v"},
+    )
+    payload = json.loads(json.dumps(record.to_dict()))
+    assert payload["name"] == "n"
+    assert payload["attributes"] == {"k": "v"}
