@@ -23,15 +23,29 @@ import os
 import platform
 from typing import Any, Callable, Dict, List
 
-__all__ = ["emit", "output_path", "ops_snapshot", "consing_snapshot"]
+__all__ = ["emit", "output_path", "ops_snapshot", "consing_snapshot", "storage_kind"]
+
+
+def storage_kind() -> str:
+    """The session-default storage backend benchmarks run under."""
+    from repro.relations.storage import resolve_storage_kind
+
+    return resolve_storage_kind(None)
 
 
 def output_path(name: str) -> str:
-    """Where ``BENCH_<name>.json`` goes: repo root, or ``REPRO_BENCH_OUT``."""
+    """Where the report goes: repo root, or ``REPRO_BENCH_OUT``.
+
+    Named ``BENCH_<name>.json`` under the default (row) backend and
+    ``BENCH_<name>.<kind>.json`` when ``REPRO_STORAGE`` selects another
+    one, so runs against different backends keep distinct seed files.
+    """
     out_dir = os.environ.get("REPRO_BENCH_OUT")
     if not out_dir:
         out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
-    return os.path.abspath(os.path.join(out_dir, f"BENCH_{name}.json"))
+    kind = storage_kind()
+    suffix = "" if kind == "row" else f".{kind}"
+    return os.path.abspath(os.path.join(out_dir, f"BENCH_{name}{suffix}.json"))
 
 
 def emit(
@@ -50,6 +64,7 @@ def emit(
         "benchmark": name,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "storage": storage_kind(),
         "records": records,
     }
     if summary is not None:

@@ -35,6 +35,7 @@ from repro.errors import QueryError
 from repro.relations.database import Database
 from repro.relations.krelation import KRelation
 from repro.relations.schema import Schema
+from repro.relations.storage import resolve_storage_kind as _resolve_storage_kind
 from repro.relations.tuples import Tup
 
 __all__ = [
@@ -65,6 +66,7 @@ class Query:
         *,
         optimize: bool = False,
         executor: str = "naive",
+        storage: str | None = None,
     ) -> KRelation:
         """Evaluate the query against ``database`` and return a K-relation.
 
@@ -85,17 +87,26 @@ class Query:
           duplicate-tuple annotation contributions are combined batched (one
           ``+``-chain per output tuple).  Same result, no intermediate
           materialization.
+
+        ``storage`` selects the result's physical backend (``"row"`` or
+        ``"columnar"``; ``None`` defers to ``REPRO_STORAGE``, then to the
+        database's own backend).  Under the pipelined executor a columnar
+        backend additionally engages the whole-column vectorized kernels
+        (:mod:`repro.engine.vectorized`) for supported plans and semirings.
         """
         plan = self.optimized(database) if optimize else self
         if executor == "pipelined":
             from repro.engine import execute as _execute_pipelined
 
-            return _execute_pipelined(plan, database)
+            return _execute_pipelined(plan, database, storage=storage)
         if executor != "naive":
             raise QueryError(
                 f"unknown executor {executor!r}; expected 'naive' or 'pipelined'"
             )
-        return plan._execute(database)
+        result = plan._execute(database)
+        if storage is not None and result.storage != _resolve_storage_kind(storage):
+            result = result.with_storage(storage)
+        return result
 
     def _execute(self, database: Database) -> KRelation:
         """Execute this operator tree as written (implemented by subclasses)."""
@@ -150,8 +161,11 @@ class Query:
         *,
         optimize: bool = False,
         executor: str = "naive",
+        storage: str | None = None,
     ) -> KRelation:
-        return self.evaluate(database, optimize=optimize, executor=executor)
+        return self.evaluate(
+            database, optimize=optimize, executor=executor, storage=storage
+        )
 
     # -- combinators -------------------------------------------------------------
     def union(self, other: "Query") -> "Union":

@@ -147,6 +147,7 @@ def evaluate_program(
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     on_divergence: str = "top",
     engine: str = "naive",
+    storage: Any = None,
 ) -> DatalogResult:
     """Evaluate ``program`` over ``database`` in the database's semiring.
 
@@ -172,6 +173,12 @@ def evaluate_program(
     one inspection detail: for idempotent semirings the semi-naive result's
     ``ground`` carries no rule instantiations (see
     :attr:`DatalogResult.ground`).
+
+    ``storage`` selects the physical backend of the semi-naive engine's
+    per-predicate stores (``"row"`` or ``"columnar"``; ``None`` defers to
+    ``REPRO_STORAGE``, then to the database's own backend).  A columnar
+    backend additionally engages whole-column round batching for linear
+    recursions over vectorizable semirings.  The naive engine ignores it.
     """
     _check_engine(engine)
     if isinstance(program, str):
@@ -184,6 +191,7 @@ def evaluate_program(
             database,
             max_iterations=max_iterations,
             on_divergence=on_divergence,
+            storage=storage,
         )
     semiring = database.semiring
     ground = ground_program(program, database)

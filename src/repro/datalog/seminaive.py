@@ -56,6 +56,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence, Set, Tuple
 
+from repro.engine import vectorized as _vectorized
 from repro.engine.kernels import combine_contributions
 from repro.errors import DatalogError, DivergenceError
 from repro.obs import trace as _trace
@@ -76,6 +77,7 @@ from repro.logic import Constant, Variable
 from repro.relations.database import Database
 from repro.relations.krelation import KRelation
 from repro.relations.schema import Schema
+from repro.relations.storage import ColumnarRowStore
 from repro.relations.tuples import Tup
 from repro.semirings.base import Semiring
 from repro.semirings.boolean import BooleanSemiring
@@ -264,7 +266,7 @@ class _Store:
     tuples are inserted.
     """
 
-    __slots__ = ("relation", "attributes", "rows", "indexes")
+    __slots__ = ("relation", "attributes", "rows", "indexes", "sorted_spec")
 
     def __init__(self, relation: KRelation):
         self.relation = relation
@@ -273,6 +275,12 @@ class _Store:
             (tup.values_for(self.attributes), tup) for tup in relation
         ]
         self.indexes: Dict[Tuple[int, ...], Dict[tuple, list]] = {}
+        #: ``(attribute, row position)`` pairs in sorted-attribute order:
+        #: turns a positional row into a canonical Tup's sorted item list
+        #: without re-sorting per tuple (see ``_SemiNaiveEngine._merge``).
+        self.sorted_spec: Tuple[Tuple[str, int], ...] = tuple(
+            sorted((a, i) for i, a in enumerate(self.attributes))
+        )
 
     def ensure_index(self, positions: Tuple[int, ...]) -> None:
         if positions in self.indexes:
@@ -314,6 +322,7 @@ class _SemiNaiveEngine:
         *,
         collect: bool,
         maintain_edb: bool = False,
+        storage: Any = None,
     ):
         self.program = program
         self.database = database
@@ -322,6 +331,23 @@ class _SemiNaiveEngine:
         self.semiring: Semiring = BooleanSemiring() if collect else database.semiring
         self.edb_annotations = collect_edb_annotations(program, database)
         self.instantiations: Set[Tuple[int, GroundAtom, Tuple[GroundAtom, ...]]] = set()
+
+        from repro.engine.compile import resolve_execution_storage
+
+        #: Physical backend for the IDB stores (explicit > env > database).
+        self.storage_kind = resolve_execution_storage(storage, database)
+        # Whole-column round batching: with a columnar backend, a numpy
+        # runtime and vector arithmetic for the semiring, single-step plans
+        # (delta driver + one indexed atom, binds only) fire array-at-a-time
+        # (:func:`repro.engine.vectorized.fire_linear_join`) instead of the
+        # per-derivation descend loop.  Annotate mode only -- collect mode
+        # must record individual instantiations.
+        self._vector_ops = None
+        if not collect and self.storage_kind == "columnar":
+            self._vector_ops = _vectorized.vector_ops_for(self.semiring)
+        self._vec_recipes: Dict[int, Any] = {}
+        self._encoders: Dict[Tuple[str, int], "_vectorized.ColumnEncoder"] = {}
+        self._ann_arrays: Dict[str, Tuple[Any, int, Any]] = {}
 
         idb = program.idb_predicates
         self.stores: Dict[str, _Store] = {}
@@ -337,7 +363,9 @@ class _SemiNaiveEngine:
             self.stores[predicate] = _Store(relation)
         for predicate in idb:
             schema = _idb_schema(program, database, predicate)
-            self.stores[predicate] = _Store(KRelation(self.semiring, schema))
+            self.stores[predicate] = _Store(
+                KRelation(self.semiring, schema, storage=self.storage_kind)
+            )
 
         # With ``maintain_edb`` the engine additionally compiles a delta
         # variant per EDB body occurrence, so an EDB insertion can later be
@@ -376,8 +404,133 @@ class _SemiNaiveEngine:
             for step in plan.steps:
                 self.stores[step.predicate].ensure_index(step.key_positions)
 
+    # -- whole-column plan firing ----------------------------------------------
+    def _vector_recipe(self, plan: _Plan):
+        """The ``(step predicate, key, head)`` wiring when ``plan`` is a
+        vectorizable single-step plan, else ``None``.
+
+        Vectorizable means: exactly one non-driver atom, driver and step
+        bind fresh distinct variables only (no constants, no repeated
+        variables -- those compile to ``_CHECK_*`` opcodes), the step's
+        probe key references driver-bound slots only, and every head
+        position is a bound variable.  This covers the linear recursion
+        shapes (transitive closure, reachability, shortest path) that
+        dominate the fixpoint rounds.
+        """
+        if len(plan.steps) != 1:
+            return None
+        driver, step = plan.driver, plan.steps[0]
+        if any(opcode != _BIND for _, opcode, _ in driver.post):
+            return None
+        driver_positions = {payload: position for position, _, payload in driver.post}
+        if any(opcode != _BIND for _, opcode, _ in step.post):
+            return None
+        step_positions = {payload: position for position, _, payload in step.post}
+        key = []
+        for position, (is_slot, payload) in zip(step.key_positions, step.key_parts):
+            if not is_slot or payload not in driver_positions:
+                return None
+            key.append((driver_positions[payload], position))
+        head = []
+        for is_slot, payload in plan.head_parts:
+            if not is_slot:
+                return None
+            if payload in driver_positions:
+                head.append(("p", driver_positions[payload]))
+            elif payload in step_positions:
+                head.append(("b", step_positions[payload]))
+            else:
+                return None
+        return step.predicate, key, head
+
+    def _build_column(self, predicate: str, position: int):
+        """The step relation's encoded column at ``position`` (incremental)."""
+        encoder = self._encoders.get((predicate, position))
+        if encoder is None:
+            encoder = self._encoders[(predicate, position)] = _vectorized.ColumnEncoder()
+        rows = self.stores[predicate].rows
+        if len(encoder) < len(rows):
+            encoder.extend(values[position] for values, _ in rows[len(encoder):])
+        return encoder.column()
+
+    def _build_annotations(self, predicate: str):
+        """The step relation's lifted annotation array, cached by store version.
+
+        EDB relations never mutate during a run, so their array is built
+        once for the whole fixpoint; IDB arrays are rebuilt in rounds whose
+        merge actually changed the predicate.
+        """
+        store = self.stores[predicate]
+        relation_store = store.relation._store
+        version = getattr(relation_store, "version", None)
+        cached = self._ann_arrays.get(predicate)
+        if cached is not None and cached[0] == version and cached[1] == len(store.rows):
+            return cached[2]
+        if (
+            isinstance(relation_store, ColumnarRowStore)
+            and len(relation_store.tuples) == len(store.rows)
+        ):
+            # Both sequences grew append-only from the same update stream
+            # (``merge_delta`` appends, ``insert`` mirrors it), so equal
+            # length means identical order and the columnar store's parallel
+            # annotation list is already row-aligned.  Any discard breaks
+            # the lengths apart permanently, disabling this path.
+            values = relation_store.annotations
+        else:
+            annotations = store.relation._annotations
+            values = [annotations[tup] for _, tup in store.rows]
+        array = self._vector_ops.to_array(values)
+        if version is not None:
+            self._ann_arrays[predicate] = (version, len(store.rows), array)
+        return array
+
+    def _fire_vectorized(self, plan: _Plan, recipe, driver_rows, out) -> bool:
+        step_predicate, key, head = recipe
+        ops = self._vector_ops
+        if not self.stores[step_predicate].rows:
+            return True
+        try:
+            probe_needed = {p for p, _ in key} | {k for side, k in head if side == "p"}
+            probe_cols = {
+                position: _vectorized._encode_column(
+                    [values[position] for values, _ in driver_rows]
+                )
+                for position in probe_needed
+            }
+            driver_annotations = self.stores[plan.driver.predicate].relation._annotations
+            probe_ann = ops.to_array(
+                [driver_annotations[tup] for _, tup in driver_rows]
+            )
+            build_needed = {p for _, p in key} | {k for side, k in head if side == "b"}
+            build_cols = {
+                position: self._build_column(step_predicate, position)
+                for position in build_needed
+            }
+            build_ann = self._build_annotations(step_predicate)
+        except (TypeError, _vectorized._Fallback):
+            return False  # unhashable / unliftable values: row path instead
+        return _vectorized.fire_linear_join(
+            ops,
+            probe_cols,
+            probe_ann,
+            build_cols,
+            build_ann,
+            key,
+            head,
+            out[plan.head_relation],
+        )
+
     # -- one plan, one batch of driver rows -----------------------------------
     def _fire(self, plan: _Plan, driver_rows: Sequence[Tuple[tuple, Tup]], out) -> None:
+        if self._vector_ops is not None and driver_rows:
+            recipe = self._vec_recipes.get(id(plan), False)
+            if recipe is False:
+                recipe = self._vector_recipe(plan)
+                self._vec_recipes[id(plan)] = recipe
+            if recipe is not None and self._fire_vectorized(
+                plan, recipe, driver_rows, out
+            ):
+                return
         semiring = self.semiring
         mul = semiring.mul
         stores = self.stores
@@ -558,9 +711,10 @@ class _SemiNaiveEngine:
                 delta[predicate] = []
                 continue
             relation = store.relation
-            attributes = store.attributes
+            sorted_spec = store.sorted_spec
+            from_sorted = Tup._from_sorted_items
             by_tup = {
-                Tup.from_values(attributes, values): values
+                from_sorted(tuple((a, values[i]) for a, i in sorted_spec)): values
                 for values in contributions
             }
             known = relation._annotations
@@ -634,6 +788,7 @@ def evaluate_program_seminaive(
     *,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     on_divergence: str = "top",
+    storage: Any = None,
 ) -> DatalogResult:
     """Semi-naive counterpart of :func:`repro.datalog.fixpoint.evaluate_program`.
 
@@ -650,7 +805,7 @@ def evaluate_program_seminaive(
     semiring = database.semiring
 
     if semiring.idempotent_add:
-        engine = _SemiNaiveEngine(program, database, collect=False)
+        engine = _SemiNaiveEngine(program, database, collect=False, storage=storage)
         iterations = engine.run(max_iterations)
         # The grounded instantiation was never materialized -- that is the
         # point -- so the result's ``ground`` carries no rule list.
@@ -668,7 +823,7 @@ def evaluate_program_seminaive(
             ground=ground,
         )
 
-    engine = _SemiNaiveEngine(program, database, collect=True)
+    engine = _SemiNaiveEngine(program, database, collect=True, storage=storage)
     # The Boolean support fixpoint always terminates (finitely many ground
     # atoms), so the caller's iteration budget -- meant for the value
     # iteration -- does not apply here, matching the naive engine whose

@@ -94,18 +94,23 @@ def build_relation(
     attrs: Tuple[str, ...],
     groups: Dict[tuple, List[Any]],
     schema: Schema | None = None,
+    storage: Any = None,
 ) -> KRelation:
     """Materialize accumulated row batches into a :class:`KRelation`.
 
     ``attrs`` names the positions of the row keys in ``groups``; ``schema``
-    fixes the display order of the result (default: ``attrs`` as given).
+    fixes the display order of the result (default: ``attrs`` as given);
+    ``storage`` selects the result's physical backend (default: the
+    process-wide ``REPRO_STORAGE`` setting).
     """
-    result = KRelation(semiring, schema if schema is not None else Schema(attrs))
+    result = KRelation(
+        semiring, schema if schema is not None else Schema(attrs), storage=storage
+    )
     order = sorted(range(len(attrs)), key=attrs.__getitem__)
-    annotations = result._annotations
+    store = result._store
     for row, value in accumulate_batches(semiring, groups).items():
         items = tuple((attrs[i], row[i]) for i in order)
-        annotations[Tup._from_sorted_items(items)] = value
+        store.set(Tup._from_sorted_items(items), value)
     return result
 
 
@@ -195,6 +200,13 @@ def join_relations(left: KRelation, right: KRelation) -> KRelation:
         return result
 
 
+def _shared_storage(*relations: KRelation) -> str | None:
+    """The backend kernel outputs should use: columnar only when all inputs are."""
+    if all(r.storage == "columnar" for r in relations):
+        return "columnar"
+    return None  # defer to the process-wide default
+
+
 def _join_relations(left: KRelation, right: KRelation) -> KRelation:
     if left.semiring.name != right.semiring.name:
         raise QueryError(
@@ -203,8 +215,16 @@ def _join_relations(left: KRelation, right: KRelation) -> KRelation:
         )
     semiring = left.semiring
     result_schema = left.schema.join(right.schema)
+    out_storage = _shared_storage(left, right)
     if not left or not right:
-        return KRelation(semiring, result_schema)
+        return KRelation(semiring, result_schema, storage=out_storage)
+
+    if out_storage == "columnar":
+        from repro.engine import vectorized
+
+        result = vectorized.try_join(left, right)
+        if result is not None:
+            return result
 
     left_attrs, left_rows = relation_rows(left)
     right_attrs, right_rows = relation_rows(right)
@@ -232,7 +252,7 @@ def _join_relations(left: KRelation, right: KRelation) -> KRelation:
             groups[out_row] = [value]
         else:
             batch.append(value)
-    return build_relation(semiring, out_attrs, groups, result_schema)
+    return build_relation(semiring, out_attrs, groups, result_schema, storage=out_storage)
 
 
 def project_relation(relation: KRelation, attributes: Iterable[str]) -> KRelation:
@@ -247,6 +267,13 @@ def project_relation(relation: KRelation, attributes: Iterable[str]) -> KRelatio
 
 def _project_relation(relation: KRelation, attributes: Iterable[str]) -> KRelation:
     target_schema = relation.schema.project(attributes)
+    out_storage = _shared_storage(relation)
+    if out_storage == "columnar":
+        from repro.engine import vectorized
+
+        result = vectorized.try_project(relation, tuple(target_schema.attributes))
+        if result is not None:
+            return result
     attrs, rows = relation_rows(relation)
     keep = tuple(attrs.index(a) for a in sorted(target_schema.attribute_set))
     out_attrs = tuple(attrs[i] for i in keep)
@@ -258,4 +285,6 @@ def _project_relation(relation: KRelation, attributes: Iterable[str]) -> KRelati
             groups[key] = [annotation]
         else:
             batch.append(annotation)
-    return build_relation(relation.semiring, out_attrs, groups, target_schema)
+    return build_relation(
+        relation.semiring, out_attrs, groups, target_schema, storage=out_storage
+    )

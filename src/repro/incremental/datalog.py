@@ -58,6 +58,11 @@ class IncrementalDatalog:
     ``1``); annotations combine into existing EDB facts with the semiring's
     ``+``.  ``remove`` is the non-incremental escape hatch: it discards the
     rows and rebuilds the engine from the updated database.
+
+    ``storage`` selects the physical backend of the maintained engine's
+    per-predicate stores (``"row"`` or ``"columnar"``; ``None`` defers to
+    ``REPRO_STORAGE``, then to the database's own backend), exactly as in
+    :func:`repro.datalog.fixpoint.evaluate_program`.
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class IncrementalDatalog:
         *,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         on_divergence: str = "top",
+        storage: Any = None,
     ):
         if on_divergence not in ("top", "error", "skip"):
             raise ValueError(
@@ -79,6 +85,7 @@ class IncrementalDatalog:
         self.semiring = database.semiring
         self.max_iterations = max_iterations
         self.on_divergence = on_divergence
+        self.storage = storage
         self._idempotent = self.semiring.idempotent_add
         self._result: DatalogResult | None = None
         self._rounds = 0
@@ -91,6 +98,7 @@ class IncrementalDatalog:
             self.database,
             collect=not self._idempotent,
             maintain_edb=True,
+            storage=self.storage,
         )
         budget = (
             self.max_iterations

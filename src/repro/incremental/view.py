@@ -70,14 +70,16 @@ class _Node:
         self.base_names = query.relation_names()
 
 
-def _build(query: Query, database: Database, executor: str = "naive") -> _Node:
+def _build(
+    query: Query, database: Database, executor: str = "naive", storage: str = "row"
+) -> _Node:
     """Compile ``query`` into a node tree, evaluating every subquery once."""
     if isinstance(query, RelationRef):
-        return _Node(query, [], database.relation(query.name).copy())
+        return _Node(query, [], database.relation(query.name).with_storage(storage))
     if isinstance(query, EmptyRelation):
         return _Node(query, [], operators.empty(database.semiring, query.schema))
-    children = [_build(child, database, executor) for child in query.children()]
-    relation = _evaluate_node(query, children, database, executor)
+    children = [_build(child, database, executor, storage) for child in query.children()]
+    relation = _evaluate_node(query, children, database, executor, storage)
     return _Node(query, children, relation)
 
 
@@ -104,23 +106,38 @@ def _project(relation: KRelation, attributes, executor: str) -> KRelation:
 
 
 def _evaluate_node(
-    query: Query, children: List[_Node], database: Database, executor: str = "naive"
+    query: Query,
+    children: List[_Node],
+    database: Database,
+    executor: str = "naive",
+    storage: str = "row",
 ) -> KRelation:
-    """Evaluate one operator from its children's materialized relations."""
+    """Evaluate one operator from its children's materialized relations.
+
+    The materialization is pinned to the view's ``storage`` backend so that
+    every node the delta rules read from (leaf copies and operator results
+    alike) stays on the backend the caller selected -- under the pipelined
+    executor this is what lets the shared kernels keep taking the
+    vectorized path across repeated ``apply`` calls.
+    """
     if isinstance(query, Union):
-        return operators.union(children[0].relation, children[1].relation)
-    if isinstance(query, Project):
-        return _project(children[0].relation, query.attributes, executor)
-    if isinstance(query, Select):
-        return operators.select(children[0].relation, query.predicate)
-    if isinstance(query, Rename):
-        return operators.rename(children[0].relation, query.mapping)
-    if isinstance(query, Join):
-        return _join(children[0].relation, children[1].relation, executor)
-    raise QueryError(
-        f"cannot materialize query node {type(query).__name__}; "
-        "materialized views cover the positive algebra of Definition 3.2"
-    )
+        relation = operators.union(children[0].relation, children[1].relation)
+    elif isinstance(query, Project):
+        relation = _project(children[0].relation, query.attributes, executor)
+    elif isinstance(query, Select):
+        relation = operators.select(children[0].relation, query.predicate)
+    elif isinstance(query, Rename):
+        relation = operators.rename(children[0].relation, query.mapping)
+    elif isinstance(query, Join):
+        relation = _join(children[0].relation, children[1].relation, executor)
+    else:
+        raise QueryError(
+            f"cannot materialize query node {type(query).__name__}; "
+            "materialized views cover the positive algebra of Definition 3.2"
+        )
+    if relation.storage != storage:
+        relation = relation.with_storage(storage)
+    return relation
 
 
 def _propagate(
@@ -183,17 +200,21 @@ def _propagate(
 
 
 def _rebuild(
-    node: _Node, database: Database, touched: frozenset[str], executor: str = "naive"
+    node: _Node,
+    database: Database,
+    touched: frozenset[str],
+    executor: str = "naive",
+    storage: str = "row",
 ) -> None:
     """Bounded recomputation: re-evaluate only subtrees reading ``touched``."""
     if not (node.base_names & touched):
         return
     if isinstance(node.query, RelationRef):
-        node.relation = database.relation(node.query.name).copy()
+        node.relation = database.relation(node.query.name).with_storage(storage)
         return
     for child in node.children:
-        _rebuild(child, database, touched, executor)
-    node.relation = _evaluate_node(node.query, node.children, database, executor)
+        _rebuild(child, database, touched, executor, storage)
+    node.relation = _evaluate_node(node.query, node.children, database, executor, storage)
 
 
 class MaterializedView:
@@ -223,6 +244,13 @@ class MaterializedView:
         delta-propagation join -- through the shared physical kernels of
         :mod:`repro.engine.kernels` (cost-driven build side, batched
         annotation accumulation).  The maintained relation is identical.
+    storage:
+        Physical backend for every materialized relation in the node tree
+        (``"row"`` or ``"columnar"``; ``None`` defers to ``REPRO_STORAGE``,
+        then to the database's own backend).  With ``executor="pipelined"``
+        a columnar view routes its join and projection nodes through the
+        whole-column vectorized kernels on every delta propagation.  The
+        maintained annotations are identical on either backend.
 
     Usage::
 
@@ -243,6 +271,7 @@ class MaterializedView:
         name: str = "view",
         optimize: bool = False,
         executor: str = "naive",
+        storage: Any = None,
     ):
         self.query = query
         self.database = database
@@ -252,6 +281,10 @@ class MaterializedView:
                 f"unknown executor {executor!r}; expected 'naive' or 'pipelined'"
             )
         self.executor = executor
+        from repro.engine.compile import resolve_execution_storage
+
+        #: The resolved physical backend of every materialized node.
+        self.storage = resolve_execution_storage(storage, database)
         if optimize:
             from repro.planner import optimize as _optimize
 
@@ -260,7 +293,7 @@ class MaterializedView:
         else:
             self.plan = query
         with _trace.span("view.build", view=name, executor=executor) as sp:
-            self._root = _build(self.plan, database, executor)
+            self._root = _build(self.plan, database, executor, self.storage)
             sp.set(rows=len(self._root.relation))
         #: ``"incremental"`` or ``"recompute"`` -- how the last :meth:`apply`
         #: ran (``None`` before the first apply).
@@ -317,7 +350,7 @@ class MaterializedView:
         touched = batch.touched_relations
         apply_batch_to_database(self.database, batch)
         old = dict(self._root.relation._annotations)
-        _rebuild(self._root, self.database, touched, self.executor)
+        _rebuild(self._root, self.database, touched, self.executor, self.storage)
         self.last_apply_mode = "recompute"
         new = self._root.relation._annotations
         zero = self.semiring.zero()
@@ -327,7 +360,7 @@ class MaterializedView:
 
     def refresh(self) -> KRelation:
         """Rebuild the whole view from the database (full recomputation)."""
-        self._root = _build(self.plan, self.database, self.executor)
+        self._root = _build(self.plan, self.database, self.executor, self.storage)
         return self._root.relation
 
     def __repr__(self) -> str:

@@ -46,9 +46,11 @@ class Database:
         name: str,
         schema: Schema | Iterable[str],
         rows: Iterable[Any] = (),
+        *,
+        storage: Any = None,
     ) -> KRelation:
         """Create, register and return a new relation."""
-        relation = KRelation(self.semiring, schema, rows)
+        relation = KRelation(self.semiring, schema, rows, storage=storage)
         return self.register(name, relation)
 
     def relation(self, name: str) -> KRelation:
@@ -100,6 +102,13 @@ class Database:
         result = Database(self.semiring)
         for name, relation in self._relations.items():
             result.register(name, relation.copy())
+        return result
+
+    def with_storage(self, storage: Any) -> "Database":
+        """A copy with every relation converted to the given storage backend."""
+        result = Database(self.semiring)
+        for name, relation in self._relations.items():
+            result.register(name, relation.with_storage(storage))
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

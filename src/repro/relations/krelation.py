@@ -14,14 +14,17 @@ convenience methods (``union``, ``project``, ``select``, ``join``,
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Tuple
+from typing import Any, Callable, Iterable, Iterator, Mapping, MutableMapping, Tuple
 
 from repro.errors import SchemaError, SemiringError
 from repro.relations.schema import Schema
+from repro.relations.storage import RowStore, make_store, resolve_storage_kind
 from repro.relations.tuples import Tup
 from repro.semirings.base import Semiring
 
 __all__ = ["KRelation"]
+
+_MISSING = object()
 
 RowLike = Any  # a Tup, a mapping, or a sequence of values in schema order
 
@@ -39,6 +42,13 @@ class KRelation:
         Optional initial contents: an iterable of ``(row, annotation)``
         pairs, or of bare rows (annotated with ``1``).  Rows may be
         :class:`Tup` objects, mappings, or value sequences in schema order.
+    storage:
+        The physical backend: ``"row"`` (dict-of-``Tup``, the default),
+        ``"columnar"`` (per-attribute value arrays plus a parallel
+        annotation array; see :mod:`repro.relations.storage`), or an
+        already-populated :class:`~repro.relations.storage.RowStore` to
+        adopt as-is.  ``None`` defers to the ``REPRO_STORAGE`` environment
+        variable.
     """
 
     def __init__(
@@ -46,13 +56,37 @@ class KRelation:
         semiring: Semiring,
         schema: Schema | Iterable[str],
         rows: Iterable[Any] = (),
+        *,
+        storage: Any = None,
     ):
         self.semiring = semiring
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
-        self._annotations: Dict[Tup, Any] = {}
+        if isinstance(storage, RowStore):
+            self._store = storage
+        else:
+            self._store = make_store(
+                resolve_storage_kind(storage),
+                sorted(self.schema.attribute_set),
+            )
         for entry in rows:
             row, annotation = self._split_entry(entry)
             self.add(row, annotation)
+
+    @property
+    def storage(self) -> str:
+        """The physical backend kind (``"row"`` or ``"columnar"``)."""
+        return self._store.kind
+
+    @property
+    def _annotations(self) -> MutableMapping[Tup, Any]:
+        """Dict-compatible view of the stored ``{Tup: annotation}`` contents.
+
+        For the row backend this *is* the backing dictionary; the columnar
+        backend returns a mutable adapter over its parallel arrays.  Writes
+        through this view are raw (no zero/carrier checks) -- it exists so
+        the engine's internal fast paths work identically on any backend.
+        """
+        return self._store.mapping()
 
     # -- construction helpers --------------------------------------------------
     def _split_entry(self, entry: Any) -> tuple[Any, Any]:
@@ -91,14 +125,27 @@ class KRelation:
         return cls(semiring, schema, annotations.items())
 
     def empty_like(self) -> "KRelation":
-        """A fresh empty relation with the same semiring and schema."""
-        return KRelation(self.semiring, self.schema)
+        """A fresh empty relation with the same semiring, schema and backend."""
+        return KRelation(self.semiring, self.schema, storage=self._store.kind)
 
     def copy(self) -> "KRelation":
         """A shallow copy (annotations are immutable values, so this is safe)."""
-        clone = self.empty_like()
-        clone._annotations = dict(self._annotations)
-        return clone
+        return KRelation(self.semiring, self.schema, storage=self._store.copy())
+
+    def with_storage(self, storage: Any) -> "KRelation":
+        """The same relation converted to another physical backend.
+
+        Always returns a new relation (a plain copy when the backend is
+        already the requested one), so callers can mutate the result freely.
+        """
+        kind = resolve_storage_kind(storage)
+        if kind == self._store.kind:
+            return self.copy()
+        result = KRelation(self.semiring, self.schema, storage=kind)
+        store = result._store
+        for tup, annotation in self._store.items():
+            store.set(tup, annotation)
+        return result
 
     # -- mutation ---------------------------------------------------------------
     def add(self, row: RowLike, annotation: Any | None = None) -> Tup:
@@ -114,15 +161,16 @@ class KRelation:
             if annotation is None
             else self.semiring.coerce(annotation)
         )
-        current = self._annotations.get(tup)
+        store = self._store
+        current = store.get(tup)
         if current is None:
             combined = value
         else:
             combined = self.semiring.add(current, value)
         if self.semiring.is_zero(combined):
-            self._annotations.pop(tup, None)
+            store.discard(tup)
         else:
-            self._annotations[tup] = combined
+            store.set(tup, combined)
         return tup
 
     def set(self, row: RowLike, annotation: Any) -> Tup:
@@ -130,9 +178,9 @@ class KRelation:
         tup = self._coerce_tuple(row)
         value = self.semiring.coerce(annotation)
         if self.semiring.is_zero(value):
-            self._annotations.pop(tup, None)
+            self._store.discard(tup)
         else:
-            self._annotations[tup] = value
+            self._store.set(tup, value)
         return tup
 
     def _accumulate(self, tup: Tup, value: Any) -> None:
@@ -144,13 +192,14 @@ class KRelation:
         semiring's own operations).  Skipping the per-tuple validation is a
         measurable win on join/projection hot paths.
         """
-        current = self._annotations.get(tup)
+        store = self._store
+        current = store.get(tup)
         if current is not None:
             value = self.semiring.add(current, value)
         if self.semiring.is_zero(value):
-            self._annotations.pop(tup, None)
+            store.discard(tup)
         else:
-            self._annotations[tup] = value
+            store.set(tup, value)
 
     def merge_delta(self, updates: Iterable[Tuple[Tup, Any]]) -> "KRelation":
         """Accumulate ``updates`` into the relation and return the *delta*.
@@ -176,31 +225,33 @@ class KRelation:
         comes out of this semiring's own operations).
         """
         semiring = self.semiring
-        annotations = self._annotations
+        store = self._store
         delta = self.empty_like()
+        delta_store = delta._store
         for tup, value in updates:
-            current = annotations.get(tup)
+            current = store.get(tup)
             combined = value if current is None else semiring.add(current, value)
             if current is None and semiring.is_zero(combined):
                 continue
             if combined != current:
                 if semiring.is_zero(combined):
-                    del annotations[tup]
+                    store.discard(tup)
                 else:
-                    annotations[tup] = combined
-                    delta._annotations[tup] = combined
+                    store.set(tup, combined)
+                    delta_store.set(tup, combined)
         return delta
 
     def discard(self, row: RowLike) -> None:
         """Remove a tuple from the support (set its annotation to zero)."""
         tup = self._coerce_tuple(row)
-        self._annotations.pop(tup, None)
+        self._store.discard(tup)
 
     # -- access -----------------------------------------------------------------
     def annotation(self, row: RowLike) -> Any:
         """The annotation of ``row`` (the semiring zero when not in the support)."""
         tup = self._coerce_tuple(row)
-        return self._annotations.get(tup, self.semiring.zero())
+        value = self._store.get(tup, _MISSING)
+        return self.semiring.zero() if value is _MISSING else value
 
     __call__ = annotation
 
@@ -210,31 +261,31 @@ class KRelation:
     @property
     def support(self) -> frozenset[Tup]:
         """The tuples with non-zero annotation (Definition 3.1)."""
-        return frozenset(self._annotations)
+        return frozenset(self._store)
 
     def items(self) -> Iterator[Tuple[Tup, Any]]:
         """Iterate over (tuple, annotation) pairs of the support."""
-        return iter(self._annotations.items())
+        return iter(self._store.items())
 
     def annotations(self) -> Iterator[Any]:
         """Iterate over the non-zero annotations."""
-        return iter(self._annotations.values())
+        return iter(self._store.values())
 
     def __iter__(self) -> Iterator[Tup]:
-        return iter(self._annotations)
+        return iter(self._store)
 
     def __len__(self) -> int:
-        return len(self._annotations)
+        return len(self._store)
 
     def __contains__(self, row: RowLike) -> bool:
         try:
             tup = self._coerce_tuple(row)
         except SchemaError:
             return False
-        return tup in self._annotations
+        return tup in self._store
 
     def __bool__(self) -> bool:
-        return bool(self._annotations)
+        return len(self._store) > 0
 
     # -- semiring-aware transformations ------------------------------------------
     def map_annotations(
@@ -250,11 +301,12 @@ class KRelation:
         never increase").
         """
         semiring = target_semiring or self.semiring
-        result = KRelation(semiring, self.schema)
-        for tup, annotation in self._annotations.items():
+        result = KRelation(semiring, self.schema, storage=self._store.kind)
+        result_store = result._store
+        for tup, annotation in self._store.items():
             value = semiring.coerce(function(annotation))
             if not semiring.is_zero(value):
-                result._annotations[tup] = value
+                result_store.set(tup, value)
         return result
 
     def to_semiring(
@@ -327,7 +379,18 @@ class KRelation:
         self._require_same_semiring(other, "compare")
         if self.schema.attribute_set != other.schema.attribute_set:
             return False
-        return self._annotations == other._annotations
+        # Store-aware comparison (the two relations may use different
+        # physical backends): same support, equal annotations tuple-wise.
+        if len(self._store) != len(other._store):
+            return False
+        other_get = other._store.get
+        for tup, annotation in self._store.items():
+            theirs = other_get(tup, _MISSING)
+            if theirs is _MISSING:
+                return False
+            if theirs is not annotation and theirs != annotation:
+                return False
+        return True
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, KRelation):
@@ -357,7 +420,7 @@ class KRelation:
         if self.schema.attribute_set != other.schema.attribute_set:
             raise SchemaError("containment requires union-compatible relations")
         leq = self.semiring.leq
-        for tup in set(self._annotations) | set(other._annotations):
+        for tup in set(self._store) | set(other._store):
             if not leq(self.annotation(tup), other.annotation(tup)):
                 return False
         return True
@@ -378,7 +441,7 @@ class KRelation:
     def __repr__(self) -> str:
         return (
             f"KRelation({self.semiring.name}, {list(self.schema.attributes)}, "
-            f"{len(self._annotations)} tuples)"
+            f"{len(self._store)} tuples)"
         )
 
     def __str__(self) -> str:
@@ -387,14 +450,21 @@ class KRelation:
     # -- misc -----------------------------------------------------------------------
     def total_annotation(self) -> Any:
         """The sum of all annotations (e.g. total multiplicity under bags)."""
-        return self.semiring.sum(self._annotations.values())
+        return self.semiring.sum(self._store.values())
 
     def check_consistency(self) -> None:
-        """Validate that every stored annotation is a non-zero carrier element."""
-        for tup, annotation in self._annotations.items():
+        """Validate the Definition 3.1 invariants on any storage backend.
+
+        Every stored annotation must be a non-zero carrier element (a stored
+        zero violates the finite-support representation), and the backend's
+        own layout invariants must hold (for the columnar store: parallel
+        arrays in sync with the tuple index).
+        """
+        for tup, annotation in self._store.items():
             if not self.semiring.contains(annotation):
                 raise SemiringError(
                     f"annotation {annotation!r} of {tup} is not in {self.semiring.name}"
                 )
             if self.semiring.is_zero(annotation):
                 raise SemiringError(f"stored zero annotation for {tup}")
+        self._store.check(tuple(sorted(self.schema.attribute_set)))

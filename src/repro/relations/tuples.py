@@ -10,11 +10,43 @@ merging of compatible tuples (natural join).
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
 
 from repro.errors import SchemaError
 
 __all__ = ["Tup"]
+
+#: Debug-mode validation of the :meth:`Tup._from_sorted_items` fast path.
+#: The fast constructor deliberately skips sorting and schema checks, so a
+#: kernel bug can silently emit malformed tuples; setting
+#: ``REPRO_DEBUG_TUPLES=1`` turns the skipped checks back on (read once at
+#: import; tests flip the module attribute directly).
+_DEBUG_TUPLES = os.environ.get("REPRO_DEBUG_TUPLES", "").strip().lower() not in (
+    "",
+    "0",
+    "false",
+    "off",
+)
+
+
+def _validate_sorted_items(items: Tuple[tuple[str, Any], ...]) -> None:
+    """The checks :meth:`Tup._from_sorted_items` bypasses, for debug mode."""
+    if not isinstance(items, tuple):
+        raise SchemaError(f"_from_sorted_items needs a tuple of pairs, got {items!r}")
+    previous = None
+    for pair in items:
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            raise SchemaError(f"malformed (attribute, value) pair {pair!r}")
+        attribute = pair[0]
+        if not isinstance(attribute, str):
+            raise SchemaError(f"attribute name {attribute!r} is not a string")
+        if previous is not None and not (previous < attribute):
+            raise SchemaError(
+                f"items not sorted by distinct attribute names at {attribute!r} "
+                f"(after {previous!r})"
+            )
+        previous = attribute
 
 
 class Tup:
@@ -47,8 +79,12 @@ class Tup:
         The physical execution kernels (:mod:`repro.engine.kernels`) build
         output tuples from positional value rows whose attribute order is
         known at compile time, so re-sorting and re-validating per tuple
-        would dominate the hot loops.
+        would dominate the hot loops.  Set ``REPRO_DEBUG_TUPLES=1`` to
+        re-enable the bypassed validation (sortedness, distinctness, string
+        attribute names) while chasing a kernel bug.
         """
+        if _DEBUG_TUPLES:
+            _validate_sorted_items(items)
         tup = cls.__new__(cls)
         object.__setattr__(tup, "_items", items)
         return tup

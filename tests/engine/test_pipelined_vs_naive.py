@@ -11,6 +11,12 @@ drives that equivalence with hypothesis-generated random query trees and
 databases over the registry semirings of the ISSUE: N, B, Tropical,
 PosBool(X), Z, N[X], and provenance circuits.
 
+Every equivalence is additionally driven on **both storage backends**: the
+``storage`` parametrization pins the pipelined side to the row dict store
+or to the columnar store, where (numpy permitting) the whole-column
+vectorized kernels take over for the supported semirings and fall back
+row-at-a-time for the rest -- either way the annotations must not move.
+
 Circuits are compared by the polynomial they denote: the pipelined engine
 sums contributions in a different association order, which yields
 semantically equal but structurally distinct DAGs (Proposition 4.2).
@@ -43,6 +49,9 @@ DIFFERENTIAL_SETTINGS = settings(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
+#: Both physical backends of the pipelined side.
+STORAGE_BACKENDS = ("row", "columnar")
+
 
 def _comparable(semiring, value):
     if semiring.name == "Circ[X]":
@@ -61,27 +70,31 @@ def _assert_same_relation(semiring, expected, actual, context: str):
         )
 
 
+@pytest.mark.parametrize("storage", STORAGE_BACKENDS)
 @pytest.mark.parametrize("semiring_name", PLANNER_SEMIRING_NAMES)
 @given(data=st.data())
 @DIFFERENTIAL_SETTINGS
-def test_pipelined_executor_agrees_annotation_for_annotation(semiring_name, data):
+def test_pipelined_executor_agrees_annotation_for_annotation(semiring_name, storage, data):
     """executor="pipelined" equals executor="naive" on random plans."""
     semiring = get_semiring(semiring_name)
     query, _schema = data.draw(ra_queries(), label="query")
     database = data.draw(view_databases(semiring), label="database")
     baseline = query.evaluate(database)
+    result = query.evaluate(database, executor="pipelined", storage=storage)
+    result.check_consistency()
     _assert_same_relation(
         semiring,
         baseline,
-        query.evaluate(database, executor="pipelined"),
-        f"as-written plan over {semiring.name}: {query}",
+        result,
+        f"as-written plan over {semiring.name} on {storage} storage: {query}",
     )
 
 
+@pytest.mark.parametrize("storage", STORAGE_BACKENDS)
 @pytest.mark.parametrize("semiring_name", PLANNER_SEMIRING_NAMES)
 @given(data=st.data())
 @DIFFERENTIAL_SETTINGS
-def test_pipelined_executor_agrees_on_optimized_plans(semiring_name, data):
+def test_pipelined_executor_agrees_on_optimized_plans(semiring_name, storage, data):
     """The full stack -- planner then physical engine -- stays equivalent."""
     semiring = get_semiring(semiring_name)
     query, _schema = data.draw(ra_queries(), label="query")
@@ -90,36 +103,45 @@ def test_pipelined_executor_agrees_on_optimized_plans(semiring_name, data):
     _assert_same_relation(
         semiring,
         baseline,
-        query.evaluate(database, optimize=True, executor="pipelined"),
-        f"optimized plan over {semiring.name}: {query}",
+        query.evaluate(database, optimize=True, executor="pipelined", storage=storage),
+        f"optimized plan over {semiring.name} on {storage} storage: {query}",
     )
 
 
+@pytest.mark.parametrize("storage", STORAGE_BACKENDS)
 @pytest.mark.parametrize("semiring_name", PLANNER_SEMIRING_NAMES)
 @given(data=st.data())
 @DIFFERENTIAL_SETTINGS
-def test_relation_level_kernels_match_operators(semiring_name, data):
-    """The shared join/projection kernels equal their logical counterparts."""
+def test_relation_level_kernels_match_operators(semiring_name, storage, data):
+    """The shared join/projection kernels equal their logical counterparts.
+
+    On columnar inputs the kernels route through the vectorized whole-column
+    implementations for the semirings that support them; the result must
+    stay identical either way.
+    """
     from repro.algebra import operators
 
     semiring = get_semiring(semiring_name)
     database = data.draw(view_databases(semiring), label="database")
-    left = database.relation("R")
-    right = database.relation("S")
+    left = database.relation("R").with_storage(storage)
+    right = database.relation("S").with_storage(storage)
+    joined = join_relations(left, right)
+    joined.check_consistency()
     _assert_same_relation(
         semiring,
         operators.join(left, right),
-        join_relations(left, right),
-        f"join kernel over {semiring.name}",
+        joined,
+        f"join kernel over {semiring.name} on {storage} storage",
     )
     _assert_same_relation(
         semiring,
         operators.project(left, ["a"]),
         project_relation(left, ["a"]),
-        f"projection kernel over {semiring.name}",
+        f"projection kernel over {semiring.name} on {storage} storage",
     )
 
 
+@pytest.mark.parametrize("storage", STORAGE_BACKENDS)
 @pytest.mark.parametrize("semiring_name", ("bag", "bool", "tropical", "posbool", "z"))
 @given(data=st.data())
 @settings(
@@ -128,14 +150,16 @@ def test_relation_level_kernels_match_operators(semiring_name, data):
     derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
-def test_pipelined_materialized_views_maintain_identically(semiring_name, data):
+def test_pipelined_materialized_views_maintain_identically(semiring_name, storage, data):
     """A view maintained through the engine kernels stays equal to
     recomputation of the original query under random insertion streams."""
     semiring = get_semiring(semiring_name)
     query, _schema = data.draw(ra_queries(), label="query")
     database = data.draw(view_databases(semiring), label="database")
     shadow = database.copy()
-    view = MaterializedView(query, database, optimize=True, executor="pipelined")
+    view = MaterializedView(
+        query, database, optimize=True, executor="pipelined", storage=storage
+    )
     _assert_same_relation(
         semiring, query.evaluate(shadow), view.relation, f"initial view: {query}"
     )

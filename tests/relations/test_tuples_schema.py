@@ -74,3 +74,55 @@ class TestSchema:
     def test_compatibility(self):
         assert Schema(["a", "b"]).is_compatible_with(Schema(["b", "a"]))
         assert not Schema(["a"]).is_compatible_with(Schema(["a", "b"]))
+
+
+class TestFromSortedItemsDebugMode:
+    """The ``Tup._from_sorted_items`` fast path and its env-gated validation.
+
+    The fast constructor trusts its caller (the physical kernels) and skips
+    sorting/validation; ``REPRO_DEBUG_TUPLES=1`` (or flipping the module
+    flag, as these tests do) re-enables the bypassed checks so a kernel bug
+    surfaces as a :class:`SchemaError` instead of a malformed tuple.
+    """
+
+    @staticmethod
+    def _debug(monkeypatch, enabled: bool):
+        from repro.relations import tuples as tuples_module
+
+        monkeypatch.setattr(tuples_module, "_DEBUG_TUPLES", enabled)
+
+    def test_fast_path_equals_the_validating_constructor(self, monkeypatch):
+        self._debug(monkeypatch, True)
+        items = (("a", 1), ("b", "x"))
+        fast = Tup._from_sorted_items(items)
+        assert fast == Tup(a=1, b="x")
+        assert hash(fast) == hash(Tup(a=1, b="x"))
+
+    def test_debug_flags_unsorted_items(self, monkeypatch):
+        self._debug(monkeypatch, True)
+        with pytest.raises(SchemaError, match="not sorted"):
+            Tup._from_sorted_items((("b", 1), ("a", 2)))
+
+    def test_debug_flags_duplicate_attributes(self, monkeypatch):
+        self._debug(monkeypatch, True)
+        with pytest.raises(SchemaError, match="not sorted"):
+            Tup._from_sorted_items((("a", 1), ("a", 2)))
+
+    def test_debug_flags_non_string_attribute(self, monkeypatch):
+        self._debug(monkeypatch, True)
+        with pytest.raises(SchemaError, match="not a string"):
+            Tup._from_sorted_items(((1, "x"),))
+
+    def test_debug_flags_malformed_pairs(self, monkeypatch):
+        self._debug(monkeypatch, True)
+        with pytest.raises(SchemaError, match="malformed"):
+            Tup._from_sorted_items((("a",),))
+        with pytest.raises(SchemaError, match="tuple of pairs"):
+            Tup._from_sorted_items([("a", 1)])
+
+    def test_disabled_debug_skips_the_checks(self, monkeypatch):
+        # The documented trade-off: without the flag the fast path accepts
+        # whatever it is handed -- that is exactly why the debug mode exists.
+        self._debug(monkeypatch, False)
+        malformed = Tup._from_sorted_items((("b", 1), ("a", 2)))
+        assert malformed._items == (("b", 1), ("a", 2))
