@@ -4,9 +4,13 @@ Replays random update streams against materialized positive-algebra views
 (:class:`repro.incremental.MaterializedView`) and an incrementally
 maintained datalog fixpoint (:class:`repro.incremental.IncrementalDatalog`),
 timing the maintained path against recomputing the result from scratch after
-every batch.  Every instance cross-checks the two paths tuple-for-tuple, so
-the benchmark doubles as an end-to-end differential test; the acceptance bar
-is a >= 5x incremental win on the largest update-stream instance.
+every batch.  A dedicated deletion series removes single facts from the
+largest maintained TC fixpoint and times the delete/rederive (DRed) pass
+against rebuilding the engine from the post-delete database.  Every instance
+cross-checks the two paths tuple-for-tuple, so the benchmark doubles as an
+end-to-end differential test; the acceptance bars are a >= 5x incremental
+win on the largest update-stream instance and a >= 5x single-fact deletion
+win over rebuild.
 
 Runs standalone (CI smoke): ``PYTHONPATH=src python benchmarks/bench_incremental.py``
 or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_incremental.py``.
@@ -22,6 +26,7 @@ from repro.datalog import evaluate_program
 from repro.incremental import IncrementalDatalog, MaterializedView, apply_batch_to_database
 from repro.semirings import IntegerRing, NaturalsSemiring, TropicalSemiring
 from repro.workloads import (
+    chain_graph_database,
     random_edge_insert_stream,
     random_graph_database,
     random_update_stream,
@@ -135,6 +140,51 @@ def _datalog_record(semiring, nodes, batches):
     }
 
 
+def _deletion_record(semiring, length, deletions):
+    """Single-fact deletions from a maintained TC fixpoint vs full rebuild.
+
+    The maintained engine runs its delete/rederive (DRed) pass per removed
+    edge; the baseline re-evaluates the whole program from the post-delete
+    database -- exactly what ``remove`` used to do before deletions became
+    incremental.  The instance is the TC of a long chain (the biggest
+    fixpoint this benchmark builds: ``length * (length + 1) / 2`` tuples),
+    deleting tail edges whose doomed cone is small -- the regime DRed is
+    for; a deletion's cost tracks the affected atoms, not the fixpoint size.
+    The right-linear TC variant keeps the re-derivation head-driven plans
+    probing the EDB edge relation first (O(out-degree) work per doomed
+    atom); the quadratic rule would enumerate the closure instead.  Every
+    step cross-checks the two annotation maps.
+    """
+    database = chain_graph_database(semiring, length=length, seed=SEED)
+    program = transitive_closure_program(linear=True)
+    maintained, build_time = _timed(lambda: IncrementalDatalog(program, database))
+    incremental_time = 0.0
+    recompute_time = 0.0
+    for index in range(deletions):
+        edge = (f"n{length - 1 - index}", f"n{length - index}")
+        _, elapsed = _timed(lambda: maintained.remove("R", [edge]))
+        incremental_time += elapsed
+        assert maintained.last_delete_mode == "dred"
+        fresh, elapsed = _timed(
+            lambda: evaluate_program(program, database, engine="seminaive")
+        )
+        recompute_time += elapsed
+        assert maintained.result.annotations == fresh.annotations, (
+            f"incremental deletion diverged from fresh evaluation "
+            f"({semiring.name}, length={length}, deleted {edge})"
+        )
+    return {
+        "tag": (
+            f"TC single-fact deletion on {semiring.name} "
+            f"(chain length={length}, {deletions} deletions)"
+        ),
+        "build_time": build_time,
+        "incremental_time": incremental_time,
+        "recompute_time": recompute_time,
+        "view_tuples": len(maintained.result.annotations),
+    }
+
+
 def _speedup(record):
     return record["recompute_time"] / max(record["incremental_time"], 1e-9)
 
@@ -147,6 +197,12 @@ def _lines(record):
         f"  incremental   {record['incremental_time'] * 1e3:8.1f} ms over the stream"
         f"  ({_speedup(record):.1f}x faster)",
     ]
+
+
+#: The deletion series instance: (semiring, chain length, deletions) -- the
+#: largest maintained TC fixpoint the benchmark builds, from which single
+#: facts are removed one at a time.
+DELETION_INSTANCE = (TropicalSemiring(), 200, 10)
 
 
 def test_incremental_matches_recompute_across_series():
@@ -163,6 +219,15 @@ def test_incremental_beats_recompute_on_largest_instance():
     report("S5: incremental vs recompute (largest update-stream instance)", _lines(record))
     check_speedup(
         _speedup(record), 5.0, "incremental win on the largest update-stream instance"
+    )
+
+
+def test_single_fact_deletion_beats_rebuild():
+    semiring, length, deletions = DELETION_INSTANCE
+    record = _deletion_record(semiring, length, deletions)
+    report("S5: incremental deletion (DRed) vs rebuild", _lines(record))
+    check_speedup(
+        _speedup(record), 5.0, "single-fact deletion win over from-scratch rebuild"
     )
 
 
@@ -199,19 +264,29 @@ def main() -> None:
         for semiring, fact_tuples, batches, deletes in RA_INSTANCES
     ]
     records.append(_datalog_record(TropicalSemiring(), 24, 8))
+    deletion_semiring, deletion_length, deletion_count = DELETION_INSTANCE
+    deletion = _deletion_record(deletion_semiring, deletion_length, deletion_count)
+    records.append(deletion)
     for record in records:
         record["speedup"] = _speedup(record)
         for line in _lines(record):
             print(line)
     largest = records[len(RA_INSTANCES) - 1]
     print(f"\nlargest-instance incremental win: {_speedup(largest):.1f}x (need >= 5x)")
+    print(f"single-fact deletion win over rebuild: {_speedup(deletion):.1f}x (need >= 5x)")
     ops_semiring, ops_facts, ops_batches, ops_deletes = RA_INSTANCES[0]
     emit(
         "incremental",
         records,
         summary={
             "largest_speedup": _speedup(largest),
+            "deletion_speedup": _speedup(deletion),
             "required_speedup": 5.0,
+            "deletion_instance": {
+                "semiring": deletion_semiring.name,
+                "chain_length": deletion_length,
+                "deletions": deletion_count,
+            },
             "ra_instances": [
                 {"semiring": s.name, "facts": f, "batches": b, "deletes": d}
                 for s, f, b, d in RA_INSTANCES
@@ -227,6 +302,9 @@ def main() -> None:
     )
     check_speedup(
         _speedup(largest), 5.0, "incremental win on the largest update-stream instance"
+    )
+    check_speedup(
+        _speedup(deletion), 5.0, "single-fact deletion win over from-scratch rebuild"
     )
 
 

@@ -29,6 +29,7 @@ __all__ = [
     "union",
     "project",
     "select",
+    "predicate_factor",
     "join",
     "rename",
     "validate_rename",
@@ -84,21 +85,28 @@ def select(relation: KRelation, predicate: Callable[[Tup], Any]) -> KRelation:
     """
     semiring = relation.semiring
     result = KRelation(semiring, relation.schema)
-    zero, one = semiring.zero(), semiring.one()
     for tup, annotation in relation.items():
-        outcome = predicate(tup)
-        if isinstance(outcome, bool):
-            factor = one if outcome else zero
-        elif outcome == zero or outcome == one:
-            factor = outcome
-        else:
-            raise QueryError(
-                f"selection predicate returned {outcome!r}, expected a {{0, 1}} value"
-            )
-        value = semiring.mul(annotation, factor)
+        value = semiring.mul(annotation, predicate_factor(semiring, predicate(tup)))
         if not semiring.is_zero(value):
             result.set(tup, value)
     return result
+
+
+def predicate_factor(semiring: Semiring, outcome: Any) -> Any:
+    """Coerce a selection predicate's outcome to the semiring's 0 or 1.
+
+    Predicates may return Python booleans (the usual case) or the semiring's
+    own 0/1 values; anything else is rejected to respect Definition 3.2's
+    requirement that predicates are {0, 1}-valued.
+    """
+    zero, one = semiring.zero(), semiring.one()
+    if isinstance(outcome, bool):
+        return one if outcome else zero
+    if outcome == zero or outcome == one:
+        return outcome
+    raise QueryError(
+        f"selection predicate returned {outcome!r}, expected a {{0, 1}} value"
+    )
 
 
 def join(left: KRelation, right: KRelation) -> KRelation:

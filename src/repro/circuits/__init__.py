@@ -19,6 +19,7 @@ from repro.circuits.evaluate import (
     circuit_evaluation,
     eval_circuit,
     from_polynomial,
+    restrict_vars,
     specialize,
     to_polynomial,
 )
@@ -66,4 +67,5 @@ __all__ = [
     "to_polynomial",
     "from_polynomial",
     "specialize",
+    "restrict_vars",
 ]

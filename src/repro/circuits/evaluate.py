@@ -45,6 +45,7 @@ __all__ = [
     "to_polynomial",
     "from_polynomial",
     "specialize",
+    "restrict_vars",
 ]
 
 
@@ -170,6 +171,36 @@ def from_polynomial(polynomial: Polynomial | Any) -> Node:
             parts.extend([var(name)] * exponent)
         terms.append(prod_node(*parts))
     return sum_node(*terms)
+
+
+def restrict_vars(node: Node, zero_variables: "frozenset[str] | set[str]") -> Node:
+    """Partially evaluate a circuit with ``zero_variables`` set to zero.
+
+    The circuit counterpart of :meth:`Polynomial.drop_variables`: one
+    memoized bottom-up pass that replaces the named variable leaves with
+    ``ZERO`` and rebuilds the interior through the simplifying constructors
+    (``0 · x = 0``, ``0 + x = x``), so whole subcircuits supported only by
+    the zeroed variables collapse.  Other variables stay symbolic -- unlike
+    :class:`CircuitEvaluator`, no full valuation is needed.  Expanding the
+    result equals expanding the input and dropping every monomial that
+    mentions a zeroed variable, which is what licenses provenance-assisted
+    deletion: with deleted EDB facts tagged by fresh variables, this removes
+    exactly the derivations they supported.
+    """
+    from repro.circuits.nodes import ZERO
+
+    memo: Dict[int, Node] = {}
+    for current in iter_nodes(node):
+        if isinstance(current, Var):
+            value = ZERO if current.name in zero_variables else current
+        elif isinstance(current, Const):
+            value = current
+        elif isinstance(current, Sum):
+            value = sum_node(*(memo[child.node_id] for child in current.children))
+        else:
+            value = prod_node(*(memo[child.node_id] for child in current.children))
+        memo[current.node_id] = value
+    return memo[node.node_id]
 
 
 def specialize(

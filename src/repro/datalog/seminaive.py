@@ -54,7 +54,7 @@ where the speed comes from (see ``benchmarks/bench_seminaive.py``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.engine import vectorized as _vectorized
 from repro.engine.kernels import combine_contributions
@@ -155,10 +155,17 @@ class _Plan:
 def _compile_plan(
     rule: Rule,
     rule_index: int,
-    driver_index: int,
+    driver_index: int | None,
     sizes: Dict[str, int] | None = None,
 ) -> _Plan:
     """Compile ``rule`` with ``body[driver_index]`` as the iterated driver.
+
+    ``driver_index=None`` compiles the **head-driven** variant used by the
+    deletion rederive pass: no atom is iterated (``plan.driver`` is None),
+    the head's variables are treated as already bound, and every body atom
+    becomes an indexed probe step -- evaluating the plan for one bound head
+    is one application of the rule's immediate-consequence operator
+    restricted to that single atom.
 
     The remaining atoms are ordered greedily by estimated selectivity: first
     by how many of their positions are determined (constants + already-bound
@@ -221,9 +228,14 @@ def _compile_plan(
             if isinstance(term, Constant) or term.name in bound
         )
 
-    driver = build_driver(driver_index)
-    bound = {v.name for v in rule.body[driver_index].variables}
-    remaining = [i for i in range(len(rule.body)) if i != driver_index]
+    if driver_index is None:
+        driver = None
+        bound = {v.name for v in rule.head.variables}
+        remaining = list(range(len(rule.body)))
+    else:
+        driver = build_driver(driver_index)
+        bound = {v.name for v in rule.body[driver_index].variables}
+        remaining = [i for i in range(len(rule.body)) if i != driver_index]
     steps: List[_AtomStep] = []
     while remaining:
         best = max(
@@ -266,7 +278,15 @@ class _Store:
     tuples are inserted.
     """
 
-    __slots__ = ("relation", "attributes", "rows", "indexes", "sorted_spec")
+    __slots__ = (
+        "relation",
+        "attributes",
+        "rows",
+        "indexes",
+        "sorted_spec",
+        "append_only",
+        "_positions",
+    )
 
     def __init__(self, relation: KRelation):
         self.relation = relation
@@ -281,6 +301,13 @@ class _Store:
         self.sorted_spec: Tuple[Tuple[str, int], ...] = tuple(
             sorted((a, i) for i, a in enumerate(self.attributes))
         )
+        #: False once any row was removed: the row order then no longer
+        #: mirrors the backing relation's insertion order, which disables
+        #: the columnar zero-copy annotation path (``_build_annotations``).
+        self.append_only = True
+        # Lazy Tup -> position map, built on the first removal only so
+        # insert-only runs pay nothing for deletion support.
+        self._positions: Dict[Tup, int] | None = None
 
     def ensure_index(self, positions: Tuple[int, ...]) -> None:
         if positions in self.indexes:
@@ -292,10 +319,44 @@ class _Store:
         self.indexes[positions] = index
 
     def insert(self, values: tuple, tup: Tup) -> None:
+        if self._positions is not None:
+            self._positions[tup] = len(self.rows)
         self.rows.append((values, tup))
         for positions, index in self.indexes.items():
             key = tuple(values[p] for p in positions)
             index.setdefault(key, []).append((values, tup))
+
+    def remove(self, tup: Tup) -> tuple | None:
+        """Drop ``tup``'s row (swap-with-last) and unhook it from every index.
+
+        Returns the removed row's values, or ``None`` when the tuple is not
+        stored.  The caller is responsible for the backing relation's
+        annotation (see ``_SemiNaiveEngine._remove_rows``).
+        """
+        if self._positions is None:
+            self._positions = {tup_: i for i, (_, tup_) in enumerate(self.rows)}
+        position = self._positions.pop(tup, None)
+        if position is None:
+            return None
+        values, _ = self.rows[position]
+        last = len(self.rows) - 1
+        if position != last:
+            moved = self.rows[last]
+            self.rows[position] = moved
+            self._positions[moved[1]] = position
+        self.rows.pop()
+        self.append_only = False
+        for positions, index in self.indexes.items():
+            key = tuple(values[p] for p in positions)
+            bucket = index.get(key)
+            if bucket:
+                for i, (_, candidate) in enumerate(bucket):
+                    if candidate == tup:
+                        bucket.pop(i)
+                        break
+                if not bucket:
+                    del index[key]
+        return values
 
 
 def _idb_schema(program: Program, database: Database, predicate: str) -> Schema:
@@ -403,6 +464,35 @@ class _SemiNaiveEngine:
         for plan in self.seed_plans + [p for ps in self.delta_plans.values() for p in ps]:
             for step in plan.steps:
                 self.stores[step.predicate].ensure_index(step.key_positions)
+        # Head-driven plans for the deletion rederive pass, compiled lazily
+        # on the first delete so insert-only maintenance pays nothing.
+        self._sizes = sizes
+        self._rederive_plans: Dict[str, List[_Plan]] | None = None
+        # Optional per-update change tracking (see begin_changelog): callers
+        # maintaining a cached result patch it from the changed tuples
+        # instead of rescanning every store after each update.
+        self.changelog: Dict[str, Set[Tup]] | None = None
+
+    # -- change tracking --------------------------------------------------------
+    def begin_changelog(self) -> Dict[str, Set[Tup]]:
+        """Start recording which stored tuples the next updates touch.
+
+        Every tuple whose stored annotation changes -- merged, re-derived or
+        removed -- is added to the returned ``predicate -> tuples`` map until
+        :meth:`end_changelog`.  A recorded tuple may end up unchanged on the
+        net (removed then re-derived to the same value); readers must consult
+        the store for the tuple's current state rather than assume a delta.
+        """
+        self.changelog = {}
+        return self.changelog
+
+    def end_changelog(self) -> None:
+        self.changelog = None
+
+    def _log_changes(self, predicate: str, tups: Iterable[Tup]) -> None:
+        log = self.changelog
+        if log is not None:
+            log.setdefault(predicate, set()).update(tups)
 
     # -- whole-column plan firing ----------------------------------------------
     def _vector_recipe(self, plan: _Plan):
@@ -446,9 +536,13 @@ class _SemiNaiveEngine:
     def _build_column(self, predicate: str, position: int):
         """The step relation's encoded column at ``position`` (incremental)."""
         encoder = self._encoders.get((predicate, position))
+        rows = self.stores[predicate].rows
+        if encoder is not None and len(encoder) > len(rows):
+            # A removal shrank the store below the cached prefix: the encoder
+            # no longer mirrors the row order, rebuild it from scratch.
+            encoder = None
         if encoder is None:
             encoder = self._encoders[(predicate, position)] = _vectorized.ColumnEncoder()
-        rows = self.stores[predicate].rows
         if len(encoder) < len(rows):
             encoder.extend(values[position] for values, _ in rows[len(encoder):])
         return encoder.column()
@@ -468,13 +562,16 @@ class _SemiNaiveEngine:
             return cached[2]
         if (
             isinstance(relation_store, ColumnarRowStore)
+            and store.append_only
             and len(relation_store.tuples) == len(store.rows)
         ):
             # Both sequences grew append-only from the same update stream
             # (``merge_delta`` appends, ``insert`` mirrors it), so equal
             # length means identical order and the columnar store's parallel
-            # annotation list is already row-aligned.  Any discard breaks
-            # the lengths apart permanently, disabling this path.
+            # annotation list is already row-aligned.  A removal on either
+            # side reorders them independently (both discard by swapping
+            # with the last row), so any removed store (``append_only``
+            # False) takes the per-row lookup path below instead.
             values = relation_store.annotations
         else:
             annotations = store.relation._annotations
@@ -680,6 +777,7 @@ class _SemiNaiveEngine:
         known = relation._annotations
         new_tuples = {tup for tup, _ in updates if tup not in known}
         changed = relation.merge_delta(updates)
+        self._log_changes(predicate, changed)
         rows: List[Tuple[tuple, Tup]] = []
         for tup in changed:
             values = tup.values_for(store.attributes)
@@ -693,6 +791,343 @@ class _SemiNaiveEngine:
             self._fire(plan, rows, out)
         delta = self._merge(out)
         return self._drain(delta, max_iterations, iterations=1)
+
+    # -- deletion (DRed) --------------------------------------------------------
+    def _invalidate_vector_state(self, predicate: str) -> None:
+        """Drop cached columns/annotation arrays after rows were removed."""
+        self._ann_arrays.pop(predicate, None)
+        for key in [k for k in self._encoders if k[0] == predicate]:
+            del self._encoders[key]
+
+    def _remove_rows(self, predicate: str, rows: Sequence[Tuple[tuple, Tup]]) -> None:
+        """Remove rows from a predicate's store *and* its backing relation."""
+        if not rows:
+            return
+        store = self.stores[predicate]
+        annotations = store.relation._annotations
+        for _, tup in rows:
+            store.remove(tup)
+            annotations.pop(tup, None)
+        self._log_changes(predicate, (tup for _, tup in rows))
+        self._invalidate_vector_state(predicate)
+
+    @staticmethod
+    def _tup_for(store: _Store, values: tuple) -> Tup:
+        return Tup._from_sorted_items(
+            tuple((a, values[i]) for a, i in store.sorted_spec)
+        )
+
+    def _fire_heads(
+        self,
+        plan: _Plan,
+        driver_rows: Sequence[Tuple[tuple, Tup]],
+        affected: Dict[str, Set[tuple]],
+    ) -> None:
+        """Collect the head tuples ``plan`` derives from ``driver_rows``.
+
+        The over-deletion half of DRed only needs *which* heads a removed
+        fact supports, not annotation products, so this is ``_fire`` without
+        the semiring arithmetic (and without instantiation recording).
+        """
+        stores = self.stores
+        steps = plan.steps
+        depth = len(steps)
+        env: List[Any] = [None] * plan.n_slots
+        head_parts = plan.head_parts
+        out = affected.setdefault(plan.head_relation, set())
+
+        def descend(level: int) -> None:
+            if level == depth:
+                out.add(
+                    tuple(
+                        env[payload] if is_slot else payload
+                        for is_slot, payload in head_parts
+                    )
+                )
+                return
+            step = steps[level]
+            store = stores[step.predicate]
+            key = tuple(
+                env[payload] if is_slot else payload
+                for is_slot, payload in step.key_parts
+            )
+            bucket = store.indexes[step.key_positions].get(key)
+            if not bucket:
+                return
+            for values, _ in bucket:
+                if step.match(values, env):
+                    descend(level + 1)
+
+        driver = plan.driver
+        for values, _ in driver_rows:
+            if driver.match(values, env):
+                descend(0)
+
+    def _ensure_rederive_plans(self) -> None:
+        if self._rederive_plans is not None:
+            return
+        plans: Dict[str, List[_Plan]] = {}
+        for rule_index, rule in enumerate(self.program.rules):
+            plan = _compile_plan(rule, rule_index, None, self._sizes)
+            plans.setdefault(rule.head.relation, []).append(plan)
+            for step in plan.steps:
+                self.stores[step.predicate].ensure_index(step.key_positions)
+        self._rederive_plans = plans
+
+    def _rederive_value(self, predicate: str, values: tuple) -> Any:
+        """One immediate-consequence application restricted to a single atom.
+
+        Evaluates every head-driven plan of ``predicate`` with the head bound
+        to ``values`` against the *current* stores, returning the combined
+        annotation -- or ``None`` when no rule body matches (the atom has no
+        derivation left and stays deleted).
+        """
+        contributions: List[Any] = []
+        mul = self.semiring.mul
+        stores = self.stores
+        for plan in self._rederive_plans.get(predicate, ()):
+            env: List[Any] = [None] * plan.n_slots
+            bound_slots: Set[int] = set()
+            ok = True
+            for position, (is_slot, payload) in enumerate(plan.head_parts):
+                value = values[position]
+                if is_slot:
+                    if payload in bound_slots:
+                        if env[payload] != value:
+                            ok = False
+                            break
+                    else:
+                        env[payload] = value
+                        bound_slots.add(payload)
+                elif payload != value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            steps = plan.steps
+            depth = len(steps)
+
+            def descend(level: int, annotation: Any) -> None:
+                if level == depth:
+                    contributions.append(annotation)
+                    return
+                step = steps[level]
+                store = stores[step.predicate]
+                key = tuple(
+                    env[payload] if is_slot else payload
+                    for is_slot, payload in step.key_parts
+                )
+                bucket = store.indexes[step.key_positions].get(key)
+                if not bucket:
+                    return
+                annotations = store.relation._annotations
+                for row_values, tup in bucket:
+                    if step.match(row_values, env):
+                        descend(level + 1, mul(annotation, annotations[tup]))
+
+            descend(0, self.semiring.one())
+        if not contributions:
+            return None
+        return combine_contributions(self.semiring, contributions)
+
+    def delete_edb(
+        self,
+        predicate: str,
+        tuples: Sequence[Tup],
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    ) -> Tuple[int, int, int]:
+        """DRed deletion of EDB facts in annotate (idempotent) mode.
+
+        Over-deletes everything the removed facts transitively support --
+        per round, the maintained delta plans fire with the round's doomed
+        rows as drivers *before* those rows leave the stores, so derivations
+        whose body contains several co-deleted atoms are still caught --
+        then re-derives the survivors: each over-deleted atom is re-seeded
+        by a head-driven immediate-consequence evaluation over the shrunk
+        stores and the ordinary delta loop drains the consequences.  Exact
+        for idempotent addition by the usual semi-naive argument (the
+        surviving atoms' derivation sets are unchanged, and re-added
+        contributions are absorbed).
+
+        Returns ``(overdeleted, rederived, rounds)`` -- over-deleted and
+        re-derived IDB row counts plus the total round count (over-delete
+        rounds + rederive drain rounds).  Requires ``maintain_edb=True`` and
+        annotate mode; collect mode deletes via :meth:`delete_support`.
+        """
+        if not self.maintain_edb:
+            raise DatalogError(
+                "engine was built without maintain_edb=True; "
+                "EDB deletions cannot be applied incrementally"
+            )
+        if self.collect:
+            raise DatalogError("delete_edb is annotate-mode only; use delete_support")
+        store = self.stores[predicate]
+        attributes = store.attributes
+        known = store.relation._annotations
+        rows = [
+            (tup.values_for(attributes), tup) for tup in tuples if tup in known
+        ]
+        if not rows:
+            return (0, 0, 0)
+        for values, _ in rows:
+            self.edb_annotations.pop(GroundAtom(predicate, values), None)
+
+        # Phase 1: over-delete, one round per support layer.
+        pending: Dict[str, List[Tuple[tuple, Tup]]] = {predicate: rows}
+        removed: Dict[str, List[Tuple[tuple, Tup]]] = {}
+        overdeleted = 0
+        rounds = 0
+        while pending:
+            rounds += 1
+            affected: Dict[str, Set[tuple]] = {}
+            for pred, pending_rows in pending.items():
+                for plan in self.delta_plans.get(pred, ()):
+                    self._fire_heads(plan, pending_rows, affected)
+            for pred, pending_rows in pending.items():
+                self._remove_rows(pred, pending_rows)
+            pending = {}
+            for pred, heads in affected.items():
+                head_store = self.stores[pred]
+                head_known = head_store.relation._annotations
+                next_rows = []
+                for values in heads:
+                    tup = self._tup_for(head_store, values)
+                    if tup in head_known:
+                        next_rows.append((values, tup))
+                if next_rows:
+                    pending[pred] = next_rows
+                    removed.setdefault(pred, []).extend(next_rows)
+                    overdeleted += len(next_rows)
+
+        # Phase 2: re-derive survivors from their remaining derivations.
+        self._ensure_rederive_plans()
+        rederived = 0
+        delta: Dict[str, List[Tuple[tuple, Tup]]] = {}
+        for pred, removed_rows in removed.items():
+            head_store = self.stores[pred]
+            updates = []
+            for values, tup in removed_rows:
+                value = self._rederive_value(pred, values)
+                if value is not None:
+                    updates.append((tup, value))
+            if not updates:
+                continue
+            changed = head_store.relation.merge_delta(updates)
+            self._log_changes(pred, changed)
+            new_rows = []
+            for tup in changed:
+                values = tup.values_for(head_store.attributes)
+                head_store.insert(values, tup)
+                new_rows.append((values, tup))
+            rederived += len(new_rows)
+            delta[pred] = new_rows
+        if any(delta.values()):
+            rounds = self._drain(delta, max_iterations, iterations=rounds)
+        return (overdeleted, rederived, rounds)
+
+    def delete_support(
+        self, predicate: str, tuples: Sequence[Tup]
+    ) -> Tuple[int, int, frozenset]:
+        """DRed deletion on the instantiation graph, for collect mode.
+
+        The maintained instantiation set records every fired rule
+        application, so deletion never refires a join: over-deletion walks
+        the instantiations that mention a removed atom in their body, and
+        rederivation revives any over-deleted head that still has an
+        instantiation whose body atoms are all alive -- classical
+        delete/rederive, with the maintained grounding as the support graph.
+        Exact because the shrunk database's instantiations are a subset of
+        the fired ones.  Dead atoms leave the Boolean stores, the pruned
+        instantiation set, and ``edb_annotations``; annotations re-solve
+        lazily from the pruned grounding.
+
+        Returns ``(overdeleted, rederived, dead_atoms)`` -- counts of IDB
+        atoms over-deleted and revived, and the frozenset of ground atoms
+        (deleted EDB facts plus dead IDB atoms) that left the support.
+        """
+        if not self.maintain_edb:
+            raise DatalogError(
+                "engine was built without maintain_edb=True; "
+                "EDB deletions cannot be applied incrementally"
+            )
+        if not self.collect:
+            raise DatalogError("delete_support is collect-mode only; use delete_edb")
+        store = self.stores[predicate]
+        attributes = store.attributes
+        known = store.relation._annotations
+        deleted_atoms: Set[GroundAtom] = set()
+        for tup in tuples:
+            if tup in known:
+                atom = GroundAtom(predicate, tup.values_for(attributes))
+                deleted_atoms.add(atom)
+                self.edb_annotations.pop(atom, None)
+        if not deleted_atoms:
+            return (0, 0, frozenset())
+
+        by_body: Dict[GroundAtom, List[Any]] = {}
+        by_head: Dict[GroundAtom, List[Any]] = {}
+        for inst in self.instantiations:
+            by_head.setdefault(inst[1], []).append(inst)
+            for atom in inst[2]:
+                by_body.setdefault(atom, []).append(inst)
+
+        # Over-delete: anything a removed atom (transitively) supports.
+        removed: Set[GroundAtom] = set(deleted_atoms)
+        overdeleted: Set[GroundAtom] = set()
+        worklist = list(deleted_atoms)
+        while worklist:
+            atom = worklist.pop()
+            for inst in by_body.get(atom, ()):
+                head = inst[1]
+                if head not in removed:
+                    removed.add(head)
+                    overdeleted.add(head)
+                    worklist.append(head)
+
+        # Re-derive: revive heads with a fully-alive instantiation left.
+        def alive(inst) -> bool:
+            return all(atom not in removed for atom in inst[2])
+
+        rederived: Set[GroundAtom] = set()
+        queue = [
+            head
+            for head in overdeleted
+            if any(alive(inst) for inst in by_head.get(head, ()))
+        ]
+        while queue:
+            head = queue.pop()
+            if head not in removed:
+                continue
+            removed.discard(head)
+            rederived.add(head)
+            for inst in by_body.get(head, ()):
+                candidate = inst[1]
+                if (
+                    candidate in removed
+                    and candidate not in deleted_atoms
+                    and alive(inst)
+                ):
+                    queue.append(candidate)
+
+        # Prune the maintained grounding and the Boolean stores.
+        self.instantiations = {
+            inst
+            for inst in self.instantiations
+            if inst[1] not in removed and all(atom not in removed for atom in inst[2])
+        }
+        by_predicate: Dict[str, List[GroundAtom]] = {}
+        for atom in removed:
+            by_predicate.setdefault(atom.relation, []).append(atom)
+        for pred, atoms in by_predicate.items():
+            dead_store = self.stores[pred]
+            dead_known = dead_store.relation._annotations
+            rows = []
+            for atom in atoms:
+                tup = self._tup_for(dead_store, atom.values)
+                if tup in dead_known:
+                    rows.append((atom.values, tup))
+            self._remove_rows(pred, rows)
+        return (len(overdeleted), len(rederived), frozenset(removed))
 
     def _merge(self, out: Dict[str, Dict[tuple, Any]]) -> Dict[str, List[Tuple[tuple, Tup]]]:
         """Accumulate a round's contributions; return the delta rows per predicate.
@@ -727,6 +1162,7 @@ class _SemiNaiveEngine:
                     for tup in by_tup
                 )
             changed = relation.merge_delta(updates)
+            self._log_changes(predicate, changed)
             rows: List[Tuple[tuple, Tup]] = []
             for tup in changed:
                 values = by_tup[tup]

@@ -20,22 +20,41 @@ Two regimes, mirroring the one-shot engine:
   the grounding, not the solving, is the expensive part the incremental
   path avoids redoing.
 
-Deletions can shrink a fixpoint non-monotonically (derived facts may lose
-all their derivations), which delta-plan firing cannot express; ``remove``
-therefore falls back to recomputation from the updated database, as the
-view layer does for semirings without negation.
+Deletions shrink a fixpoint non-monotonically (derived facts may lose all
+their derivations), which plain delta-plan firing cannot express; ``remove``
+therefore runs a **delete/rederive (DRed) pass** against the maintained
+state instead of rebuilding it:
+
+* **idempotent mode**: over-delete everything the removed facts transitively
+  support (the maintained delta plans fire with the doomed rows as drivers),
+  then re-derive the survivors head-first and drain the consequences with
+  ordinary delta rounds (``mode="dred"``);
+* **collect mode**: the recorded rule instantiations *are* the support
+  graph, so over-delete/rederive walks them without refiring a single join,
+  and the exact annotations re-solve lazily from the pruned grounding.
+  Under rings (``Z``, ``Z[X]``) the database-side removal is a negative
+  ``merge_delta`` that cancels exactly (``mode="ring"``); otherwise the
+  support is discarded directly (``mode="dred"``);
+* **provenance-assisted**: when every deleted fact is tagged with a fresh
+  ``N[X]``/``Z[X]``/circuit variable no surviving EDB fact mentions, the
+  cached result is patched by specializing those variables to zero
+  (:meth:`Polynomial.drop_variables` / :func:`repro.circuits.restrict_vars`)
+  -- exact new annotations without re-solving anything (``mode="provenance"``);
+* a full engine rebuild remains only as the last-resort recovery when a
+  rederive drain exhausts its iteration budget (``mode="rebuild"``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
 
-from repro.errors import DatalogError
+from repro.errors import DatalogError, DivergenceError
 from repro.obs import trace as _trace
 from repro.datalog.fixpoint import DEFAULT_MAX_ITERATIONS, DatalogResult
-from repro.datalog.grounding import GroundAtom, GroundProgram
+from repro.datalog.grounding import GroundAtom, GroundProgram, collect_edb_annotations
 from repro.datalog.seminaive import _SemiNaiveEngine, solve_ground_seminaive
 from repro.datalog.syntax import Program
+from repro.incremental.delta import UpdateBatch
 from repro.relations.database import Database
 from repro.relations.krelation import KRelation
 from repro.relations.tuples import Tup
@@ -56,8 +75,12 @@ class IncrementalDatalog:
     ``insert`` entries follow the :class:`~repro.relations.krelation.KRelation`
     row convention: ``(row, annotation)`` pairs or bare rows (annotation
     ``1``); annotations combine into existing EDB facts with the semiring's
-    ``+``.  ``remove`` is the non-incremental escape hatch: it discards the
-    rows and rebuilds the engine from the updated database.
+    ``+``.  ``remove`` deletes facts *incrementally* with a delete/rederive
+    (DRed) pass over the maintained state; :attr:`last_delete_mode` records
+    which strategy the last deletion used (``"dred"``, ``"ring"``,
+    ``"provenance"``, ``"noop"`` or ``"rebuild"`` -- see the module
+    docstring).  Removing an absent fact is a defined no-op, mirroring
+    ``merge_delta``'s zero handling.
 
     ``storage`` selects the physical backend of the maintained engine's
     per-predicate stores (``"row"`` or ``"columnar"``; ``None`` defers to
@@ -89,6 +112,7 @@ class IncrementalDatalog:
         self._idempotent = self.semiring.idempotent_add
         self._result: DatalogResult | None = None
         self._rounds = 0
+        self.last_delete_mode: str | None = None
         self._start_engine()
 
     # -- engine lifecycle -------------------------------------------------------
@@ -137,6 +161,48 @@ class IncrementalDatalog:
             self.semiring,
             max_iterations=self.max_iterations,
             on_divergence=self.on_divergence,
+        )
+
+    def _patch_result(self, changelog: Dict[str, Any]) -> None:
+        """Update the cached result from an engine changelog (idempotent mode).
+
+        A maintained update touches O(affected) atoms, so recomputing the
+        result's annotation map from the stores -- an O(fixpoint) scan --
+        would dominate small deltas.  Instead the changed tuples recorded by
+        the engine are re-read from the stores and spliced into a copy of
+        the cached maps.  With no cached result there is nothing to patch
+        and the next :attr:`result` access rebuilds it lazily as before.
+        """
+        old = self._result
+        if old is None:
+            return
+        engine = self._engine
+        annotations = dict(old.annotations)
+        derivable = set(old.ground.derivable)
+        idb = self.program.idb_predicates
+        for predicate, tups in changelog.items():
+            store = engine.stores[predicate]
+            known = store.relation._annotations
+            attributes = store.attributes
+            is_idb = predicate in idb
+            for tup in tups:
+                atom = GroundAtom(predicate, tup.values_for(attributes))
+                value = known.get(tup)
+                if value is None:
+                    derivable.discard(atom)
+                    if is_idb:
+                        annotations.pop(atom, None)
+                else:
+                    derivable.add(atom)
+                    if is_idb:
+                        annotations[atom] = value
+        self._result = DatalogResult(
+            annotations=annotations,
+            iterations=self._rounds,
+            divergent_atoms=frozenset(),
+            ground=GroundProgram(
+                self.program, self.database, [], engine.edb_annotations, derivable
+            ),
         )
 
     def relation(self, predicate: str) -> KRelation:
@@ -193,20 +259,29 @@ class IncrementalDatalog:
             # inside apply_edb_delta updates both in one step.  (Idempotent
             # addition rules out cancellation: a + a = a with inverses would
             # force a = 0, so the support can only grow here.)
-            self._rounds += self._engine.apply_edb_delta(
-                predicate, updates, self.max_iterations
-            )
+            changelog = self._engine.begin_changelog()
+            try:
+                self._rounds += self._engine.apply_edb_delta(
+                    predicate, updates, self.max_iterations
+                )
+            finally:
+                self._engine.end_changelog()
+            self._refresh_edb_annotations(predicate, base, updates)
+            self._patch_result(changelog)
+            return self.result
         else:
             # Collect mode works on a booleanized copy: merge the real
             # annotations into the database, the support into the engine.
             present_before = {tup for tup, _ in updates if tup in base._annotations}
             changed = base.merge_delta(updates)
-            if any(tup not in base._annotations for tup in present_before):
-                # A negative insertion cancelled an EDB fact exactly: the
-                # support shrank, which the maintained Boolean grounding
-                # cannot un-derive -- rebuild, as remove() does.
-                self._start_engine()
-                return self.result
+            cancelled = [tup for tup in present_before if tup not in base._annotations]
+            if cancelled:
+                # A negative insertion cancelled EDB facts exactly: a
+                # deletion in insert's clothing.  Shrink the maintained
+                # support in place with the instantiation-graph DRed pass
+                # instead of rebuilding the engine.
+                self._engine.delete_support(predicate, cancelled)
+                self._result = None
             # Only genuinely changed tuples reach the engine; in particular a
             # zero-valued insertion of an absent tuple must not create
             # support the database does not have.
@@ -233,14 +308,223 @@ class IncrementalDatalog:
                 edb_annotations[atom] = current
 
     def remove(self, predicate: str, rows: Iterable[Any]) -> DatalogResult:
-        """Remove EDB facts (recompute fallback).
+        """Remove EDB facts and shrink the fixpoint incrementally.
 
-        Deletions shrink the fixpoint non-monotonically, so the maintained
-        state cannot be patched by delta firing: the rows are discarded from
-        the database and the engine is rebuilt from scratch.
+        Runs the delete/rederive (DRed) pass over the maintained state: the
+        removed facts' transitive consequences are over-deleted using the
+        engine's own binding indexes, survivors with an untouched alternative
+        derivation are re-derived, and only the genuinely affected atoms are
+        ever touched.  Entries may be bare rows or ``(row, annotation)``
+        pairs (the annotation is ignored -- deletion removes the fact
+        entirely).  Removing a fact that is not present is a defined no-op.
+        :attr:`last_delete_mode` records the strategy used.
+
+        Returns the updated :attr:`result`.
         """
         base, updates = self._coerce_updates(predicate, rows)
+        present: List[Tup] = []
+        seen: set = set()
         for tup, _ in updates:
-            base.discard(tup)
-        self._start_engine()
+            if tup not in seen:
+                seen.add(tup)
+                if tup in base._annotations:
+                    present.append(tup)
+        if not present:
+            # Mirrors merge_delta's zero handling: deleting what is absent
+            # leaves the maintained engine untouched.
+            self.last_delete_mode = "noop"
+            return self.result
+        with _trace.span(
+            "incremental.delete", predicate=predicate, deletes=len(present)
+        ) as sp:
+            self._delete(predicate, base, present, sp)
         return self.result
+
+    def _delete(
+        self, predicate: str, base: KRelation, present: List[Tup], sp: Any
+    ) -> None:
+        if self._idempotent:
+            changelog = self._engine.begin_changelog()
+            try:
+                overdeleted, rederived, rounds = self._engine.delete_edb(
+                    predicate, present, self.max_iterations
+                )
+            except DivergenceError:
+                # The rederive drain exhausted its budget mid-merge; the
+                # engine state is no longer trustworthy, so fall back to the
+                # last-resort full rebuild from the updated database.
+                for tup in present:
+                    base.discard(tup)
+                self._start_engine()
+                self.last_delete_mode = "rebuild"
+                sp.set(mode="rebuild")
+                return
+            finally:
+                self._engine.end_changelog()
+            self._rounds += rounds
+            self._patch_result(changelog)
+            self.last_delete_mode = "dred"
+            sp.set(
+                mode="dred",
+                overdeleted=overdeleted,
+                rederived=rederived,
+                rounds=rounds,
+            )
+            return
+        # Collect mode.  Check the provenance license before the deleted
+        # annotations leave the database.
+        specializer = None
+        old_result = self._result
+        if old_result is not None and not old_result.divergent_atoms:
+            specializer = self._provenance_specializer(predicate, base, present)
+        semiring = self.semiring
+        if semiring.has_negation:
+            # Ring path: deletion is a negative insertion that cancels
+            # exactly (merge_delta's zero handling drops the tuples from the
+            # support).
+            base.merge_delta(
+                [(tup, semiring.negate(base._annotations[tup])) for tup in present]
+            )
+            mode = "ring"
+        else:
+            for tup in present:
+                base.discard(tup)
+            mode = "dred"
+        overdeleted, rederived, dead = self._engine.delete_support(predicate, present)
+        if specializer is not None:
+            # Every surviving atom's polynomial/circuit factors through the
+            # deleted facts' variables; setting them to zero is a semiring
+            # homomorphism, so patching the cached annotations is exact --
+            # no rule refires, no re-solve.
+            self._result = DatalogResult(
+                annotations={
+                    atom: specializer(value)
+                    for atom, value in old_result.annotations.items()
+                    if atom not in dead
+                },
+                iterations=self._rounds,
+                divergent_atoms=frozenset(),
+                ground=self._engine.ground_program(),
+            )
+            mode = "provenance"
+        else:
+            self._result = None
+        self.last_delete_mode = mode
+        sp.set(mode=mode, overdeleted=overdeleted, rederived=rederived)
+
+    def _provenance_specializer(
+        self, predicate: str, base: KRelation, present: List[Tup]
+    ):
+        """A function patching pre-delete annotations to post-delete ones.
+
+        Licensed when every deleted fact's annotation is a *bare provenance
+        variable* (``N[X]``, ``Z[X]`` or a circuit ``Var``) that no surviving
+        EDB fact mentions: those variables then tag exactly the derivations
+        the deleted facts support, and specializing them to zero (the
+        evaluation homomorphism ``v -> 0``) computes the exact new annotation
+        of every surviving atom -- the paper's specialization machinery
+        turned on its own maintenance problem.  Returns ``None`` when the
+        license does not hold.
+        """
+        from repro.circuits.evaluate import restrict_vars
+        from repro.circuits.nodes import Node, Var, iter_nodes
+        from repro.semirings.integers import ZPolynomial
+        from repro.semirings.polynomial import Polynomial
+
+        deleted_vars: set = set()
+        for tup in present:
+            value = base._annotations[tup]
+            if isinstance(value, (Polynomial, ZPolynomial)):
+                terms = value.terms
+                if len(terms) != 1:
+                    return None
+                monomial, coefficient = terms[0]
+                if coefficient != 1:
+                    return None
+                powers = monomial.powers
+                if len(powers) != 1 or powers[0][1] != 1:
+                    return None
+                deleted_vars.add(powers[0][0])
+            elif isinstance(value, Node):
+                if not isinstance(value, Var):
+                    return None
+                deleted_vars.add(value.name)
+            else:
+                return None
+        attributes = base.schema.attributes
+        deleted_atoms = {
+            GroundAtom(predicate, tup.values_for(attributes)) for tup in present
+        }
+        for atom, value in self._engine.edb_annotations.items():
+            if atom in deleted_atoms:
+                continue
+            if isinstance(value, (Polynomial, ZPolynomial)):
+                mentioned = value.variables
+            elif isinstance(value, Node):
+                mentioned = {
+                    node.name for node in iter_nodes(value) if isinstance(node, Var)
+                }
+            else:
+                return None
+            if mentioned & deleted_vars:
+                return None
+        frozen = frozenset(deleted_vars)
+
+        def specialize(value: Any) -> Any:
+            if isinstance(value, Node):
+                return restrict_vars(value, frozen)
+            return value.drop_variables(frozen)
+
+        return specialize
+
+    def apply(self, batch: "UpdateBatch | Mapping[str, Any]") -> DatalogResult:
+        """Apply a mixed :class:`~repro.incremental.delta.UpdateBatch`.
+
+        Deletions apply first, then insertions, matching
+        :func:`~repro.incremental.delta.apply_batch_to_database` semantics.
+        """
+        batch = UpdateBatch.of(batch)
+        for predicate in sorted(batch.deletions):
+            rows = batch.deletions[predicate]
+            if rows:
+                self.remove(predicate, rows)
+        for predicate in sorted(batch.insertions):
+            entries = batch.insertions[predicate]
+            if entries:
+                self.insert(predicate, entries)
+        return self.result
+
+    # -- invariants --------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Verify the maintained state against a from-scratch grounding.
+
+        The engine's ``edb_annotations`` must equal
+        :func:`~repro.datalog.grounding.collect_edb_annotations` on the
+        current database (the audit for mixed insert/delete batches), every
+        maintained store must satisfy the stored-zero invariant, and the row
+        lists must cover exactly the stored supports.  Raises
+        :class:`~repro.errors.DatalogError` on any mismatch.
+        """
+        engine = self._engine
+        expected = collect_edb_annotations(self.program, self.database)
+        if engine.edb_annotations != expected:
+            raise DatalogError(
+                "maintained EDB annotations diverged from the database "
+                f"({len(engine.edb_annotations)} maintained, {len(expected)} expected)"
+            )
+        for name, store in engine.stores.items():
+            store.relation.check_consistency()
+            rows = {tup for _, tup in store.rows}
+            known = set(store.relation._annotations)
+            if rows != known:
+                raise DatalogError(
+                    f"store rows for {name!r} are out of sync with its relation "
+                    f"({len(rows)} rows, {len(known)} annotations)"
+                )
+            if not self._idempotent and name in self.program.edb_predicates:
+                support = set(self.database.relation(name)._annotations)
+                if known != support:
+                    raise DatalogError(
+                        f"boolean support of {name!r} diverged from the database "
+                        f"({len(known)} maintained, {len(support)} in the database)"
+                    )

@@ -15,9 +15,14 @@ rules of incremental view maintenance, here stated on K-relations:
 where a *delta relation* is itself a K-relation whose annotations are the
 **changes** to be ``+``-combined into the current annotations.  Insertions
 are always expressible this way; deletions need the change ``-R(t)``, i.e.
-additive inverses, which is why deletion support is gated on the semiring's
-ring capability (``has_negation`` -- the ``Z`` / ``Z[X]`` structures of
-:mod:`repro.semirings.integers`).
+additive inverses, which is why *delta-expressible* deletion is gated on
+the semiring's ring capability (``has_negation`` -- the ``Z`` / ``Z[X]``
+structures of :mod:`repro.semirings.integers`).  Deletions over other
+semirings are still maintained incrementally, just not as deltas:
+:class:`~repro.incremental.view.MaterializedView` runs a targeted
+delete/rederive pass and :class:`~repro.incremental.datalog.IncrementalDatalog`
+runs DRed (see those modules); only the stateless compiler here refuses
+them.
 
 :func:`view_delta` is the direct, stateless compiler: it recursively applies
 the rules above against the *pre-update* database.  The stateful
@@ -211,7 +216,8 @@ def batch_deltas(database: Database, batch: UpdateBatch) -> Dict[str, KRelation]
     ``t`` from ``R`` contributes ``-R(t)``, which requires the semiring to be
     a ring (``has_negation``).  Reads the *current* (pre-update) state of
     ``database``; raises :class:`SemiringError` when deletions are requested
-    over a semiring without negation (callers fall back to recomputation).
+    over a semiring without negation (callers route those through the
+    delete/rederive pass instead).
     """
     semiring = database.semiring
     deltas: Dict[str, KRelation] = {}

@@ -13,12 +13,22 @@ change-valued deltas bottom-up through the tree:
   tuples they join with, not to the view size.
 
 Subtrees whose base relations are untouched by a batch are skipped
-entirely.  Deletions are expressed as negated annotation deltas, which needs
-the semiring's ring capability (``has_negation``, e.g. ``Z`` or ``Z[X]``);
-over a plain semiring a batch containing deletions falls back to **bounded
-recomputation** -- only the operator nodes whose subtree reads a touched
-base relation are re-evaluated, untouched subtrees keep their
-materializations (``last_apply_mode`` records which path ran).
+entirely.  Deletions take one of three paths (``last_apply_mode`` records
+which ran):
+
+* **ring** semirings (``has_negation``, e.g. ``Z`` or ``Z[X]``): a deletion
+  is the negated annotation delta ``-R(t)`` and propagates through the
+  ordinary bilinear delta rules (``"incremental"``);
+* plain semirings: a **delete/rederive pass** walks the node tree bottom-up
+  recomputing only the *affected keys* of each materialization -- removed
+  leaf tuples, the union/selection/rename images of changed child tuples,
+  the projection groups they collapse into, and for joins the output keys
+  reachable from a changed child tuple (found by probing the maintained
+  children, each output recomputed in O(1) from the two child annotations)
+  (``"delete_rederive"``);
+* **bounded recomputation** -- re-evaluating the operator nodes whose
+  subtree reads a touched base relation -- remains only as the last-resort
+  fallback if the targeted pass fails (``"recompute"``).
 """
 
 from __future__ import annotations
@@ -199,6 +209,156 @@ def _propagate(
     return delta
 
 
+def _refresh_value(relation: KRelation, tup: Tup, value: Any, semiring) -> bool:
+    """Store ``value`` for ``tup`` (``None``/zero = remove); report a change."""
+    annotations = relation._annotations
+    current = annotations.get(tup)
+    if value is None or semiring.is_zero(value):
+        if current is None:
+            return False
+        del annotations[tup]
+        return True
+    if current is not None and current == value:
+        return False
+    annotations[tup] = value
+    return True
+
+
+def _delete_rederive(node: _Node, removed: Mapping[str, set], semiring) -> set:
+    """Propagate base-relation deletions by recomputing only affected keys.
+
+    ``removed`` maps base relation names to the sets of tuples deleted from
+    them (already applied to the database).  Every operator recomputes just
+    the keys a changed child tuple can reach: unions, selections and renames
+    re-read the one child annotation, projections re-aggregate only the
+    groups a changed child tuple collapses into (one scan of the child
+    materialization), and joins probe the maintained children for the output
+    keys reachable from a changed child tuple, recomputing each in O(1) as
+    the product of the two child annotations.  No negation is needed --
+    deletion works in every semiring because affected values are recomputed,
+    not subtracted.  Returns the node tuples whose materialized annotation
+    changed (removed or revalued).
+    """
+    if not (node.base_names & removed.keys()):
+        return set()
+    query = node.query
+    relation = node.relation
+    if isinstance(query, RelationRef):
+        affected = set()
+        annotations = relation._annotations
+        for tup in removed.get(query.name, ()):
+            if tup in annotations:
+                del annotations[tup]
+                affected.add(tup)
+        return affected
+    if isinstance(query, Union):
+        left, right = node.children
+        affected = _delete_rederive(left, removed, semiring) | _delete_rederive(
+            right, removed, semiring
+        )
+        changed = set()
+        for tup in affected:
+            left_value = left.relation._annotations.get(tup)
+            right_value = right.relation._annotations.get(tup)
+            if left_value is None:
+                value = right_value
+            elif right_value is None:
+                value = left_value
+            else:
+                value = semiring.add(left_value, right_value)
+            if _refresh_value(relation, tup, value, semiring):
+                changed.add(tup)
+        return changed
+    if isinstance(query, Project):
+        child = node.children[0]
+        child_changed = _delete_rederive(child, removed, semiring)
+        if not child_changed:
+            return set()
+        attributes = tuple(query.attributes)
+        keys = {tup.restrict(attributes) for tup in child_changed}
+        totals: Dict[Tup, Any] = {}
+        for tup, value in child.relation.items():
+            key = tup.restrict(attributes)
+            if key in keys:
+                current = totals.get(key)
+                totals[key] = value if current is None else semiring.add(current, value)
+        return {
+            key
+            for key in keys
+            if _refresh_value(relation, key, totals.get(key), semiring)
+        }
+    if isinstance(query, Select):
+        child = node.children[0]
+        changed = set()
+        for tup in _delete_rederive(child, removed, semiring):
+            value = child.relation._annotations.get(tup)
+            if value is not None:
+                value = semiring.mul(
+                    value, operators.predicate_factor(semiring, query.predicate(tup))
+                )
+            if _refresh_value(relation, tup, value, semiring):
+                changed.add(tup)
+        return changed
+    if isinstance(query, Rename):
+        child = node.children[0]
+        mapping = dict(query.mapping)
+        changed = set()
+        for tup in _delete_rederive(child, removed, semiring):
+            image = tup.rename(mapping)
+            value = child.relation._annotations.get(tup)
+            if _refresh_value(relation, image, value, semiring):
+                changed.add(image)
+        return changed
+    if isinstance(query, Join):
+        left, right = node.children
+        left_changed = _delete_rederive(left, removed, semiring)
+        right_changed = _delete_rederive(right, removed, semiring)
+        # Every output key whose value may have changed joins a changed
+        # child tuple with the other side's old state.  Old supports are
+        # covered by (new support) ∪ (changed keys) on each side, so three
+        # probe joins against the *maintained* children find them all; the
+        # probes carry annotation 1 so they only enumerate keys.
+        one = semiring.one()
+        probes: List[KRelation] = []
+        temp_left = temp_right = None
+        if left_changed:
+            temp_left = KRelation(
+                semiring,
+                left.relation.schema,
+                ((tup, one) for tup in left_changed),
+            )
+            probes.append(operators.join(temp_left, right.relation))
+        if right_changed:
+            temp_right = KRelation(
+                semiring,
+                right.relation.schema,
+                ((tup, one) for tup in right_changed),
+            )
+            probes.append(operators.join(left.relation, temp_right))
+        if temp_left is not None and temp_right is not None:
+            probes.append(operators.join(temp_left, temp_right))
+        affected = set()
+        for probe in probes:
+            affected.update(probe._annotations)
+        left_attributes = left.relation.schema.attributes
+        right_attributes = right.relation.schema.attributes
+        left_annotations = left.relation._annotations
+        right_annotations = right.relation._annotations
+        changed = set()
+        for tup in affected:
+            left_value = left_annotations.get(tup.restrict(left_attributes))
+            right_value = right_annotations.get(tup.restrict(right_attributes))
+            value = (
+                semiring.mul(left_value, right_value)
+                if left_value is not None and right_value is not None
+                else None
+            )
+            if _refresh_value(relation, tup, value, semiring):
+                changed.add(tup)
+        return changed
+    raise QueryError(f"no deletion rule for {type(query).__name__}")
+
+
 def _rebuild(
     node: _Node,
     database: Database,
@@ -295,8 +455,8 @@ class MaterializedView:
         with _trace.span("view.build", view=name, executor=executor) as sp:
             self._root = _build(self.plan, database, executor, self.storage)
             sp.set(rows=len(self._root.relation))
-        #: ``"incremental"`` or ``"recompute"`` -- how the last :meth:`apply`
-        #: ran (``None`` before the first apply).
+        #: ``"incremental"``, ``"delete_rederive"`` or ``"recompute"`` -- how
+        #: the last :meth:`apply` ran (``None`` before the first apply).
         self.last_apply_mode: str | None = None
 
     # -- state ------------------------------------------------------------------
@@ -322,9 +482,10 @@ class MaterializedView:
         """Apply an update batch to the base relations and the view.
 
         Insertions always propagate incrementally.  Batches containing
-        deletions propagate incrementally when the semiring has negation and
-        fall back to bounded recomputation otherwise.  Returns the changed
-        view tuples mapped to their new annotations (zero = removed).
+        deletions propagate as negated deltas when the semiring has negation,
+        and through the targeted delete/rederive pass otherwise (bounded
+        recomputation remains only as the last-resort fallback).  Returns the
+        changed view tuples mapped to their new annotations (zero = removed).
         """
         batch = UpdateBatch.of(batch)
         if batch.is_empty():
@@ -332,10 +493,10 @@ class MaterializedView:
             return {}
         if batch.has_deletions and not self.supports_deletions:
             with _trace.span(
-                "view.apply", view=self.name, mode="recompute"
+                "view.apply", view=self.name, mode="delete_rederive"
             ) as sp:
-                changed = self._apply_by_recompute(batch)
-                sp.set(changed=len(changed))
+                changed = self._apply_by_delete_rederive(batch)
+                sp.set(changed=len(changed), mode=self.last_apply_mode)
                 return changed
         with _trace.span("view.apply", view=self.name, mode="incremental") as sp:
             deltas = batch_deltas(self.database, batch)
@@ -345,6 +506,59 @@ class MaterializedView:
             self.last_apply_mode = "incremental"
             sp.set(changed=len(changed))
             return changed
+
+    def _apply_by_delete_rederive(self, batch: UpdateBatch) -> Dict[Tup, Any]:
+        """Targeted deletion pass for semirings without negation.
+
+        Deletions apply first and propagate through :func:`_delete_rederive`
+        (affected keys only); insertions then follow the ordinary
+        delta-propagation path.  Falls back to bounded recomputation only if
+        the targeted pass fails.
+        """
+        changed: Dict[Tup, Any] = {}
+        zero = self.semiring.zero()
+        removed: Dict[str, set] = {}
+        for name, rows in batch.deletions.items():
+            base = self.database.relation(name)
+            tups = {
+                tup
+                for tup in (base._coerce_tuple(row) for row in rows)
+                if tup in base._annotations
+            }
+            if tups:
+                removed[name] = tups
+        mode = "delete_rederive"
+        if removed:
+            apply_batch_to_database(
+                self.database, UpdateBatch(deletions=batch.deletions)
+            )
+            old = dict(self._root.relation._annotations)
+            try:
+                affected = _delete_rederive(self._root, removed, self.semiring)
+            except QueryError:
+                # Last resort: the database already holds the post-delete
+                # state, so bounded recomputation from it is always sound.
+                touched = frozenset(removed)
+                _rebuild(
+                    self._root, self.database, touched, self.executor, self.storage
+                )
+                new = self._root.relation._annotations
+                affected = {
+                    tup
+                    for tup in set(old) | set(new)
+                    if old.get(tup) != new.get(tup)
+                }
+                mode = "recompute"
+            annotations = self._root.relation._annotations
+            for tup in affected:
+                changed[tup] = annotations.get(tup, zero)
+        if any(batch.insertions.values()):
+            insertions = UpdateBatch(insertions=batch.insertions)
+            deltas = batch_deltas(self.database, insertions)
+            apply_batch_to_database(self.database, insertions)
+            _propagate(self._root, deltas, changed, executor=self.executor)
+        self.last_apply_mode = mode
+        return changed
 
     def _apply_by_recompute(self, batch: UpdateBatch) -> Dict[Tup, Any]:
         touched = batch.touched_relations

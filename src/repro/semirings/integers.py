@@ -201,6 +201,16 @@ class ZPolynomial:
             )
         return Polynomial(dict(self._terms))
 
+    def drop_variables(self, variables: "frozenset[str] | set[str]") -> "ZPolynomial":
+        """Specialize ``variables`` to zero: drop every term mentioning one.
+
+        The ring twin of :meth:`Polynomial.drop_variables`, used by the
+        provenance-assisted deletion path over ``Z[X]`` annotations.
+        """
+        return ZPolynomial(
+            {m: c for m, c in self._terms if not (m.variables & variables)}
+        )
+
     # -- algebra ---------------------------------------------------------------
     def __add__(self, other: "ZPolynomial | str | int") -> "ZPolynomial":
         other = ZPolynomial.of(other)

@@ -387,6 +387,20 @@ class Polynomial:
         """Apply ``function`` to every coefficient (dropping resulting zeros)."""
         return Polynomial({m: function(c) for m, c in self._terms})
 
+    def drop_variables(self, variables: "frozenset[str] | set[str]") -> "Polynomial":
+        """Specialize ``variables`` to zero: drop every term mentioning one.
+
+        This is the evaluation homomorphism at ``v -> 0`` for the named
+        variables (identity elsewhere), computed without arithmetic.  It is
+        what makes provenance-assisted deletion exact: when a deleted EDB
+        fact is tagged with a fresh variable, its derivations are precisely
+        the monomials the variable occurs in (Theorem 6.5's view of the
+        annotation as a sum over derivation trees).
+        """
+        return Polynomial(
+            {m: c for m, c in self._terms if not (m.variables & variables)}
+        )
+
     def rename(self, mapping: Mapping[str, str]) -> "Polynomial":
         """Rename variables according to ``mapping`` (missing names unchanged)."""
         terms: Dict[Monomial, Any] = {}

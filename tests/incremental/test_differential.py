@@ -3,7 +3,9 @@
 The delta compiler and :class:`MaterializedView` must agree with full
 recomputation *annotation-for-annotation* after every batch of a random
 update stream, for every supported semiring: insertions everywhere,
-deletions where the semiring is a ring (``Z``, ``Z[X]``).  Queries are
+deletions everywhere too -- through negated deltas over rings (``Z``,
+``Z[X]``) and through the targeted delete/rederive pass otherwise.  Queries
+are
 random positive-algebra expressions from ``tests/strategies.py``; a shadow
 copy of the database is updated independently so the comparison never trusts
 the view's own bookkeeping.
@@ -45,11 +47,6 @@ DIFFERENTIAL_SETTINGS = settings(
     derandomize=True,
     suppress_health_check=[HealthCheck.too_slow],
 )
-
-RING_NAMES = tuple(
-    name for name in VIEW_SEMIRING_NAMES if get_semiring(name).has_negation
-)
-
 
 def _draw_batch(data, semiring, shadow, index: int, *, allow_deletions: bool):
     """One random update batch against the live supports of ``shadow``."""
@@ -99,6 +96,14 @@ def _run_stream(semiring_name: str, data, *, allow_deletions: bool, storage="row
             f"expected:\n{expected.to_table()}"
         )
         view.relation.check_consistency()
+        if batch.has_deletions:
+            # rings delete through negated deltas, everything else through
+            # the targeted delete/rederive pass; bounded recomputation is
+            # only the last-resort fallback and must not engage here
+            expected_mode = (
+                "incremental" if semiring.has_negation else "delete_rederive"
+            )
+            assert view.last_apply_mode == expected_mode
         # the changed-report must agree with the new state tuple-for-tuple
         for tup, value in changed.items():
             assert view.relation.annotation(tup) == value
@@ -116,10 +121,11 @@ def test_insert_streams_match_recompute(semiring_name, storage, data):
 
 
 @pytest.mark.parametrize("storage", ("row", "columnar"))
-@pytest.mark.parametrize("semiring_name", RING_NAMES)
+@pytest.mark.parametrize("semiring_name", VIEW_SEMIRING_NAMES)
 @DIFFERENTIAL_SETTINGS
 @given(data=st.data())
-def test_mixed_streams_match_recompute_over_rings(semiring_name, storage, data):
+def test_mixed_streams_match_recompute(semiring_name, storage, data):
+    """Insert/delete streams agree with recompute over *every* semiring."""
     _run_stream(semiring_name, data, allow_deletions=True, storage=storage)
 
 
@@ -151,8 +157,8 @@ def test_view_delta_compiler_matches_recompute(semiring_name, data):
     result.check_consistency()
 
 
-def test_recompute_fallback_triggers_without_negation():
-    """Deletions over a semiring without negation use bounded recomputation."""
+def test_delete_rederive_triggers_without_negation():
+    """Deletions over a semiring without negation use the targeted pass."""
     from repro import Database, NaturalsSemiring, Q
 
     database = Database(NaturalsSemiring())
@@ -163,10 +169,26 @@ def test_recompute_fallback_triggers_without_negation():
     view.apply(UpdateBatch(insertions={"R": [(("4", "2"), 1)]}))
     assert view.last_apply_mode == "incremental"
     changed = view.apply(UpdateBatch(deletions={"R": [("1", "2")]}))
-    assert view.last_apply_mode == "recompute"
+    assert view.last_apply_mode == "delete_rederive"
     assert not view.supports_deletions
     assert view.relation.equal_to(query.evaluate(database))
     assert changed  # the ('1','x') tuple left the view
+    view.relation.check_consistency()
+
+
+def test_bounded_recompute_remains_available_as_fallback():
+    """_apply_by_recompute still restores the view from the database."""
+    from repro import Database, NaturalsSemiring, Q
+
+    database = Database(NaturalsSemiring())
+    database.create("R", ["a", "b"], [(("1", "2"), 2), (("2", "3"), 1)])
+    database.create("S", ["b", "c"], [(("2", "x"), 3)])
+    query = Q.relation("R").join(Q.relation("S")).project("a", "c")
+    view = MaterializedView(query, database)
+    changed = view._apply_by_recompute(UpdateBatch(deletions={"R": [("1", "2")]}))
+    assert view.last_apply_mode == "recompute"
+    assert view.relation.equal_to(query.evaluate(database))
+    assert changed
     view.relation.check_consistency()
 
 

@@ -85,35 +85,44 @@ def test_provenance_polynomials_with_skip():
     _assert_matches_fresh(maintained, TC_PROGRAM, database, on_divergence="skip")
 
 
-def test_remove_falls_back_to_recomputation():
+def test_remove_runs_the_dred_pass_incrementally():
     semiring = get_semiring("bool")
     database = Database(semiring)
     database.create("R", ["x", "y"], [("a", "b"), ("b", "c"), ("c", "d")])
     maintained = IncrementalDatalog(TC_PROGRAM, database)
     assert len(maintained.result.annotations) == 6
+    engine_before = maintained._engine
     maintained.remove("R", [("b", "c")])
+    assert maintained.last_delete_mode == "dred"
+    assert maintained._engine is engine_before  # no rebuild
     _assert_matches_fresh(maintained, TC_PROGRAM, database)
     assert len(maintained.result.annotations) == 2
+    maintained.check_consistency()
 
 
-def test_negative_insertion_cancelling_a_fact_rebuilds_over_rings():
-    # Regression: over Z a negative insertion can cancel an EDB fact exactly;
-    # the maintained Boolean grounding cannot un-derive, so this must take
-    # the rebuild path and still agree with fresh evaluation.
+def test_negative_insertion_cancelling_a_fact_stays_incremental():
+    # Regression: over Z a negative insertion can cancel an EDB fact exactly.
+    # The cancellation now routes through the instantiation-graph deletion
+    # pass -- the maintained engine must survive (no rebuild) and still agree
+    # with fresh evaluation.
     semiring = get_semiring("z")
     database = Database(semiring)
     database.create("R", ["x", "y"], [(("a", "b"), 2), (("b", "c"), 1)])
     maintained = IncrementalDatalog(TC_PROGRAM, database)
+    engine_before = maintained._engine
     maintained.insert("R", [(("a", "b"), -2)])
+    assert maintained._engine is engine_before  # cancelled in place
     assert ("a", "b") not in database.relation("R")
     _assert_matches_fresh(maintained, TC_PROGRAM, database)
     assert set(maintained.result.annotations) == {
         atom for atom in maintained.result.annotations if atom.values == ("b", "c")
     }
+    maintained.check_consistency()
     # a partial (non-cancelling) negative insertion stays incremental
     maintained.insert("R", [(("b", "c"), 5), (("c", "d"), 3)])
     maintained.insert("R", [(("b", "c"), -2)])
     _assert_matches_fresh(maintained, TC_PROGRAM, database)
+    maintained.check_consistency()
 
 
 def test_zero_valued_insertion_is_a_noop():
