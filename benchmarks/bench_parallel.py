@@ -1,0 +1,192 @@
+"""S5: partition-parallel datalog vs the serial columnar engine.
+
+Times the semi-naive engine with a four-worker :class:`repro.parallel.ParallelExecutor`
+against its own serial columnar run on linear transitive closure over
+layered DAGs annotated in the event semiring ``(P(Omega), U, intersection)``
+-- probabilistic reachability in the style of the paper's event-table
+example (Figure 4): every edge carries an event over a 256-world sample
+space and every derived path the intersection/union combination of its
+derivations.  The workload is chosen to favour neither side artificially:
+events are exactly the kind of non-vectorizable annotation the columnar
+backend cannot batch through numpy, while the complete-bipartite layers
+give each delta row a full layer of join partners, so the fan-in work
+dominates the partition/ship/merge overhead.
+
+The acceptance bar is a >= 2x parallel-over-serial win with four workers on
+the largest instance of the series.  Four workers cannot beat that floor on
+fewer than four cores, so the hard check additionally requires
+``os.cpu_count() >= 4`` (skipped with a visible note otherwise -- CI's
+runners qualify); every run cross-checks that parallel and serial produced
+identical annotations, so the benchmark doubles as an end-to-end
+equivalence test.
+
+Runs standalone (CI smoke): ``PYTHONPATH=src python benchmarks/bench_parallel.py``
+or under pytest: ``PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py``.
+"""
+
+import os
+import time
+
+from conftest import check_speedup, report
+from reporting import emit
+
+from repro.datalog import evaluate_program
+from repro.parallel import ParallelExecutor
+from repro.semirings.events import EventSemiring, EventSpace
+from repro.workloads import dag_database, transitive_closure_program
+
+#: Layer widths of the instance series (layers and worlds stay fixed; the
+#: middle layer's fan-in grows with the width).  The last entry is "the
+#: largest scaling instance" the acceptance criterion refers to.
+WIDTHS = [40, 56, 72]
+LAYERS = 3
+WORLDS = 256
+WORKERS = 4
+SEED = 9
+
+REQUIRED_SPEEDUP = 2.0
+
+
+def _semiring() -> EventSemiring:
+    space = EventSpace({f"w{i}": 1.0 for i in range(WORLDS)}, normalize=True)
+    return EventSemiring(space)
+
+
+def _database(width: int):
+    return dag_database(_semiring(), layers=LAYERS, width=width, seed=SEED)
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    result = thunk()
+    return result, time.perf_counter() - start
+
+
+def _record(width: int, executor: ParallelExecutor):
+    database = _database(width)
+    program = transitive_closure_program(linear=True)
+    serial, serial_time = _timed(
+        lambda: evaluate_program(
+            program, database, engine="seminaive", storage="columnar"
+        )
+    )
+    parallel, parallel_time = _timed(
+        lambda: evaluate_program(
+            program,
+            database,
+            engine="seminaive",
+            storage="columnar",
+            parallel=executor,
+        )
+    )
+    assert parallel.annotations == serial.annotations, (
+        f"parallel and serial runs disagree at width={width}"
+    )
+    assert parallel.iterations == serial.iterations
+    return {
+        "tag": (
+            f"linear TC on layered DAG (P(Ω), {WORLDS} worlds, "
+            f"layers={LAYERS}, width={width})"
+        ),
+        "width": width,
+        "serial_time": serial_time,
+        "parallel_time": parallel_time,
+        "workers": executor.workers,
+        "rounds": parallel.iterations,
+        "tuples": len(parallel.annotations),
+    }
+
+
+def _speedup(record):
+    return record["serial_time"] / max(record["parallel_time"], 1e-9)
+
+
+def _lines(record):
+    return [
+        f"{record['tag']}: {record['tuples']} derived tuples in {record['rounds']} rounds",
+        f"  seminaive, serial columnar        {record['serial_time'] * 1e3:8.1f} ms",
+        f"  seminaive, {record['workers']} partition workers  {record['parallel_time'] * 1e3:8.1f} ms"
+        f"  ({_speedup(record):.1f}x faster, shared-nothing rounds)",
+    ]
+
+
+def _enough_cores() -> bool:
+    return (os.cpu_count() or 1) >= WORKERS
+
+
+def _warmup(executor: ParallelExecutor) -> None:
+    """Pay pool start-up and worker import cost outside the timed region."""
+    evaluate_program(
+        transitive_closure_program(linear=True),
+        _database(8),
+        engine="seminaive",
+        storage="columnar",
+        parallel=executor,
+    )
+
+
+def test_parallel_matches_serial_on_small_instance():
+    with ParallelExecutor(2) as executor:
+        record = _record(24, executor)
+    report("S5: partition-parallel vs serial datalog (smoke)", _lines(record))
+
+
+def test_parallel_beats_serial_on_largest_instance():
+    import pytest
+
+    if not _enough_cores():
+        pytest.skip(
+            f"the >= {REQUIRED_SPEEDUP:g}x floor needs >= {WORKERS} cores "
+            f"(this machine has {os.cpu_count()})"
+        )
+    with ParallelExecutor(WORKERS) as executor:
+        _warmup(executor)
+        record = _record(WIDTHS[-1], executor)
+    report(
+        "S5: partition-parallel vs serial datalog (largest instance)",
+        _lines(record),
+    )
+    check_speedup(
+        _speedup(record), REQUIRED_SPEEDUP, "parallel win on the largest instance"
+    )
+
+
+def main() -> None:
+    with ParallelExecutor(WORKERS) as executor:
+        _warmup(executor)
+        records = [_record(width, executor) for width in WIDTHS]
+    for record in records:
+        record["speedup"] = _speedup(record)
+        for line in _lines(record):
+            print(line)
+    largest = records[-1]
+    print(
+        f"\nlargest-instance parallel win: {_speedup(largest):.1f}x "
+        f"(need >= {REQUIRED_SPEEDUP:g}x on >= {WORKERS} cores)"
+    )
+    summary = {
+        "largest_speedup": _speedup(largest),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "workers": WORKERS,
+        "cores": os.cpu_count(),
+        "instances": [
+            {"semiring": _semiring().name, "layers": LAYERS, "width": w}
+            for w in WIDTHS
+        ],
+    }
+    emit("parallel", records, summary=summary)
+    if _enough_cores():
+        check_speedup(
+            _speedup(largest),
+            REQUIRED_SPEEDUP,
+            "parallel win on the largest instance",
+        )
+    else:
+        print(
+            f"speedup floor not enforced: {WORKERS} workers cannot beat "
+            f"{REQUIRED_SPEEDUP:g}x on {os.cpu_count()} core(s)"
+        )
+
+
+if __name__ == "__main__":
+    main()

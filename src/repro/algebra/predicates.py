@@ -479,6 +479,35 @@ class OpaquePredicate(BasePredicate):
     def signature(self) -> tuple:
         return ("opaque", id(self.function))
 
+    def __reduce__(self):
+        # Lambdas and local closures do not pickle; detect that here and
+        # raise the library's SerializationError with an actionable message
+        # instead of letting pickle fail with an opaque PicklingError deep
+        # inside a worker-pool submit.
+        function = self.function
+        module = getattr(function, "__module__", None)
+        qualname = getattr(function, "__qualname__", None)
+        target: Any = None
+        if module and qualname and "<" not in qualname:
+            import sys
+
+            target = sys.modules.get(module)
+            for part in qualname.split("."):
+                target = getattr(target, part, None)
+                if target is None:
+                    break
+        if target is not function:
+            from repro.errors import SerializationError
+
+            raise SerializationError(
+                f"opaque predicate {self.__name__!r} wraps "
+                f"{_callable_label(function)}, which is not importable as "
+                f"{module}.{qualname} and therefore cannot cross a process "
+                "boundary; use a module-level function or a structured "
+                "predicate from repro.algebra.predicates instead"
+            )
+        return (OpaquePredicate, (function,))
+
     def __str__(self) -> str:
         return f"opaque:{_callable_label(self.function)}"
 

@@ -20,7 +20,10 @@ table.  Consequences:
   a fixpoint round returns the existing node, which is what makes Kleene
   iteration's convergence check cheap;
 * the intern table holds weak references only, so circuits are reclaimed
-  normally when no relation references them.
+  normally when no relation references them;
+* nodes pickle by *reconstruction through the factories* (``__reduce__``),
+  so an unpickled circuit re-interns into the receiving process's table and
+  identity equality keeps holding across process boundaries (worker IPC).
 
 ``Sum``/``Prod`` children are kept sorted by interning id, which makes the
 constructors commutative at the representation level (``a + b`` and
@@ -104,11 +107,20 @@ class Var(Node):
 
     __slots__ = ("name",)
 
+    def __reduce__(self):
+        # Unpickle through the factory so the node re-interns: default
+        # unpickling would bypass the hash-cons table and break the
+        # identity-based equality every circuit consumer relies on.
+        return (var, (self.name,))
+
 
 class Const(Node):
     """A constant leaf: a non-negative ``int`` or the infinite :class:`NatInf`."""
 
     __slots__ = ("value",)
+
+    def __reduce__(self):
+        return (const, (self.value,))
 
 
 class Sum(Node):
@@ -116,11 +128,61 @@ class Sum(Node):
 
     __slots__ = ("children",)
 
+    def __reduce__(self):
+        # Gates serialize as a *flat postorder spec* rebuilt iteratively
+        # through the factories: recursing node-by-node (the obvious
+        # ``(sum_node, children)`` reduce) would overflow the pickler's
+        # stack on circuits deeper than a few hundred gates, which datalog
+        # fixpoints produce routinely.  Rebuilding through the factories
+        # re-interns every node, so identity equality survives the trip.
+        return (_rebuild_circuit, (_circuit_spec(self),))
+
 
 class Prod(Node):
     """An n-ary ``·`` gate (children sorted by interning id, length >= 2)."""
 
     __slots__ = ("children",)
+
+    def __reduce__(self):
+        return (_rebuild_circuit, (_circuit_spec(self),))
+
+
+def _circuit_spec(root: Node) -> List[tuple]:
+    """Flatten ``root``'s DAG to a postorder list with child back-references.
+
+    Each entry is ``("v", name)``, ``("c", value)`` or ``(kind, positions)``
+    with ``kind`` in ``{"s", "p"}`` and ``positions`` indexing earlier
+    entries; shared subcircuits appear once.  The inverse is
+    :func:`_rebuild_circuit`.
+    """
+    position: Dict[int, int] = {}
+    spec: List[tuple] = []
+    for node in iter_nodes(root):
+        if isinstance(node, Var):
+            entry: tuple = ("v", node.name)
+        elif isinstance(node, Const):
+            entry = ("c", node.value)
+        else:
+            kind = "s" if isinstance(node, Sum) else "p"
+            entry = (kind, tuple(position[child._id] for child in node.children))
+        position[node._id] = len(spec)
+        spec.append(entry)
+    return spec
+
+
+def _rebuild_circuit(spec: List[tuple]) -> Node:
+    """Rebuild a :func:`_circuit_spec` flat form through the interning factories."""
+    nodes: List[Node] = []
+    for kind, payload in spec:
+        if kind == "v":
+            nodes.append(var(payload))
+        elif kind == "c":
+            nodes.append(const(payload))
+        elif kind == "s":
+            nodes.append(sum_node(*(nodes[i] for i in payload)))
+        else:
+            nodes.append(prod_node(*(nodes[i] for i in payload)))
+    return nodes[-1]
 
 
 def _intern(key: tuple, build) -> Node:

@@ -148,6 +148,7 @@ def evaluate_program(
     on_divergence: str = "top",
     engine: str = "naive",
     storage: Any = None,
+    parallel: Any = None,
 ) -> DatalogResult:
     """Evaluate ``program`` over ``database`` in the database's semiring.
 
@@ -179,6 +180,14 @@ def evaluate_program(
     ``REPRO_STORAGE``, then to the database's own backend).  A columnar
     backend additionally engages whole-column round batching for linear
     recursions over vectorizable semirings.  The naive engine ignores it.
+
+    ``parallel`` (semi-naive engine only) runs the annotate-mode fixpoint
+    rounds over a pool of shared-nothing worker processes
+    (:mod:`repro.parallel`): an integer worker count, ``True`` for the cpu
+    count, or ``None`` to defer to ``REPRO_PARALLEL``.  Collect-mode runs
+    (non-idempotent semirings) and semirings without a canonical picklable
+    carrier decline to the serial loop; results are identical either way.
+    The naive engine ignores it.
     """
     _check_engine(engine)
     if isinstance(program, str):
@@ -192,6 +201,7 @@ def evaluate_program(
             max_iterations=max_iterations,
             on_divergence=on_divergence,
             storage=storage,
+            parallel=parallel,
         )
     semiring = database.semiring
     ground = ground_program(program, database)

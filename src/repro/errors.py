@@ -18,6 +18,7 @@ __all__ = [
     "DivergenceError",
     "ContainmentError",
     "ParseError",
+    "SerializationError",
 ]
 
 
@@ -64,3 +65,14 @@ class ContainmentError(ReproError):
 
 class ParseError(ReproError):
     """Textual input (datalog rules, conjunctive queries) failed to parse."""
+
+
+class SerializationError(ReproError):
+    """A value cannot cross a process boundary (pickle round-trip).
+
+    Raised instead of :class:`pickle.PicklingError` when the library can
+    tell *why* the value does not serialize -- e.g. an
+    :class:`~repro.algebra.predicates.OpaquePredicate` wrapping a lambda or
+    local closure -- so the parallel executor's decline path and the caller
+    both see an actionable message.
+    """

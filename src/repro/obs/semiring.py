@@ -55,6 +55,14 @@ class InstrumentedSemiring(Semiring):
         self.naturally_ordered = delegate.naturally_ordered
         self.has_negation = delegate.has_negation
 
+    def __reduce__(self):
+        # Pickles by reconstruction so worker processes get a working
+        # wrapper (delegate + a value-copy of the counter).  Counts bumped
+        # in a worker do not flow back to the parent's OpCounter -- op
+        # metrics are per-process; the parallel executor's spans carry the
+        # cross-process accounting instead.
+        return (InstrumentedSemiring, (self.delegate, self.ops))
+
     # -- counted hot path --------------------------------------------------------
     def add(self, a: Any, b: Any) -> Any:
         self.ops.plus += 1

@@ -1,0 +1,88 @@
+"""Shared-nothing parallel execution of queries and datalog fixpoints.
+
+Proposition 3.4's small print is a parallelization theorem: the semiring
+``+`` of Definition 3.1 is associative and commutative, so a K-relation may
+be hash-partitioned on the join/driver key, each partition evaluated by an
+independent worker process against broadcast copies of the other relations,
+and the partial results merged with a single ``+``-chain per output tuple
+-- **exactly**, not approximately, for any commutative semiring whose
+values have a canonical, picklable representation.  This package is that
+theorem as an executor:
+
+* :mod:`repro.parallel.executor` -- the process pool
+  (:class:`ParallelExecutor`), worker-configuration shipping and the
+  ``REPRO_PARALLEL`` / ``REPRO_PARALLEL_START`` environment knobs;
+* :mod:`repro.parallel.partition` -- hash/round-robin partitioning;
+* :mod:`repro.parallel.merge` -- partial-result merging and
+  :func:`parallel_merge_ops`, the single chokepoint where
+  representation-sensitive carriers (hash-consed circuits) and collect-mode
+  runs decline to the serial path, mirroring how non-vectorizable semirings
+  decline :func:`repro.engine.vectorized.vector_ops_for`;
+* :mod:`repro.parallel.queries` / :mod:`repro.parallel.datalog` -- the
+  coordinators for one-shot queries and semi-naive fixpoints;
+* :mod:`repro.parallel.worker` -- the spawn-safe worker entry points.
+
+Entry points::
+
+    query.evaluate(database, parallel=4)            # or REPRO_PARALLEL=4
+    evaluate_program(program, database, engine="seminaive", parallel=4)
+    IncrementalDatalog(program, database, parallel=4)
+
+Every caller treats ``None`` from the parallel path as "declined": the
+serial executors run instead and the answer is identical either way.
+"""
+
+from repro.parallel.config import (
+    PARALLEL_ENV,
+    PARALLEL_START_ENV,
+    WorkerConfig,
+    apply_worker_config,
+    capture_worker_config,
+)
+from repro.parallel.executor import (
+    ParallelExecutor,
+    resolve_parallel,
+    shared_executor,
+    shutdown_executors,
+)
+from repro.parallel.merge import (
+    PARALLEL_SAFE_SEMIRINGS,
+    merge_contribution_map,
+    merge_relations,
+    parallel_merge_ops,
+)
+from repro.parallel.partition import partition_indexes, partition_rows
+
+__all__ = [
+    "ParallelExecutor",
+    "resolve_parallel",
+    "shared_executor",
+    "shutdown_executors",
+    "WorkerConfig",
+    "capture_worker_config",
+    "apply_worker_config",
+    "PARALLEL_ENV",
+    "PARALLEL_START_ENV",
+    "PARALLEL_SAFE_SEMIRINGS",
+    "parallel_merge_ops",
+    "merge_contribution_map",
+    "merge_relations",
+    "partition_rows",
+    "partition_indexes",
+    "execute_query_parallel",
+    "run_engine_parallel",
+]
+
+
+def execute_query_parallel(*args, **kwargs):
+    """Lazy re-export of :func:`repro.parallel.queries.execute_query_parallel`."""
+    from repro.parallel.queries import execute_query_parallel as _impl
+
+    return _impl(*args, **kwargs)
+
+
+def run_engine_parallel(*args, **kwargs):
+    """Lazy re-export of :func:`repro.parallel.datalog.run_engine_parallel`."""
+    from repro.parallel.datalog import run_engine_parallel as _impl
+
+    return _impl(*args, **kwargs)

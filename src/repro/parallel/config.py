@@ -1,0 +1,89 @@
+"""Worker-process configuration: ship the parent's *effective* settings.
+
+A worker started with the ``spawn`` method re-imports :mod:`repro` from
+scratch, so anything the parent configured *programmatically* -- tracing
+enabled via :func:`repro.obs.trace.enable`, a storage default set after
+import, a monkeypatched ``REPRO_DEBUG_TUPLES`` flag -- would silently
+diverge if workers only inherited environment variables.  The executor
+therefore captures the parent's **resolved** state once
+(:func:`capture_worker_config`) and replays it in every worker's pool
+initializer (:func:`apply_worker_config`), so that
+``resolve_storage_kind(None)``, tuple debug checking and trace emission
+agree across the whole pool regardless of how the parent was configured.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "WorkerConfig",
+    "capture_worker_config",
+    "apply_worker_config",
+    "PARALLEL_ENV",
+    "PARALLEL_START_ENV",
+]
+
+#: Environment variable enabling parallel execution process-wide
+#: (``0``/unset = serial, an integer = worker count, ``auto`` = cpu count).
+PARALLEL_ENV = "REPRO_PARALLEL"
+
+#: Environment variable overriding the multiprocessing start method used by
+#: the pool (``fork``, ``spawn`` or ``forkserver``; unset = platform default).
+PARALLEL_START_ENV = "REPRO_PARALLEL_START"
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """The parent-resolved settings every worker must agree on.
+
+    ``storage_kind`` is the parent's ``resolve_storage_kind(None)`` --
+    the *effective* default backend, not the raw environment variable;
+    ``debug_tuples`` is the live ``repro.relations.tuples._DEBUG_TUPLES``
+    flag; ``trace_target`` is the trace sink destination (``"stderr"`` or a
+    JSONL path) when the parent has tracing enabled, else ``None``.
+    """
+
+    storage_kind: str
+    debug_tuples: bool
+    trace_target: str | None
+
+
+def capture_worker_config() -> WorkerConfig:
+    """Snapshot the parent process's effective configuration."""
+    from repro.obs import trace
+    from repro.relations import tuples
+    from repro.relations.storage import resolve_storage_kind
+
+    trace_target = None
+    if trace.enabled():
+        trace_target = os.environ.get("REPRO_TRACE") or "stderr"
+    return WorkerConfig(
+        storage_kind=resolve_storage_kind(None),
+        debug_tuples=tuples._DEBUG_TUPLES,
+        trace_target=trace_target,
+    )
+
+
+def apply_worker_config(config: WorkerConfig) -> None:
+    """Replay a captured :class:`WorkerConfig` inside a worker process.
+
+    Sets both the module state (so already-imported code sees the change)
+    and the environment (so any further child processes inherit it).
+    """
+    from repro.obs import trace
+    from repro.relations import tuples
+    from repro.relations.storage import STORAGE_ENV
+
+    os.environ[STORAGE_ENV] = config.storage_kind
+    os.environ["REPRO_DEBUG_TUPLES"] = "1" if config.debug_tuples else ""
+    tuples._DEBUG_TUPLES = config.debug_tuples
+    if config.trace_target and not trace.enabled():
+        from repro.obs import sinks
+
+        if config.trace_target.strip().lower() == "stderr":
+            trace.enable(sinks.StderrSink())
+        else:
+            trace.enable(sinks.JsonlSink(config.trace_target))
+        os.environ["REPRO_TRACE"] = config.trace_target

@@ -1,0 +1,222 @@
+"""The shared-nothing process pool behind parallel evaluation.
+
+:class:`ParallelExecutor` owns a lazily-created
+:class:`concurrent.futures.ProcessPoolExecutor` whose workers are
+initialized with the parent's captured :class:`~repro.parallel.config.WorkerConfig`
+(storage default, tuple debug flag, trace sink) so every process resolves
+configuration identically.  The start method follows the platform default
+unless overridden by ``start_method=`` or ``REPRO_PARALLEL_START`` --
+the test suite runs the whole machinery under both ``fork`` and ``spawn``.
+
+Coordinators broadcast a run's shared payload once (:meth:`broadcast`
+pickles it to bytes and mints a token); each task then carries the same
+bytes object, and the worker-side cache materializes the payload once per
+process (see :mod:`repro.parallel.worker`).  :meth:`run_tasks` submits a
+batch and gathers results in submission order, so merging is deterministic.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Sequence
+
+from repro.errors import SerializationError
+from repro.parallel.config import (
+    PARALLEL_ENV,
+    PARALLEL_START_ENV,
+    WorkerConfig,
+    capture_worker_config,
+)
+from repro.parallel.worker import initialize_worker
+
+__all__ = ["ParallelExecutor", "resolve_parallel", "shared_executor", "shutdown_executors"]
+
+_token_counter = itertools.count(1)
+
+
+def resolve_parallel(parallel: Any = None) -> Any:
+    """Normalize a ``parallel=`` argument to a worker count or executor.
+
+    * a :class:`ParallelExecutor` passes through (reusing its pool);
+    * ``None`` defers to ``$REPRO_PARALLEL`` (unset/``0``/``off`` = serial,
+      an integer = that many workers, ``auto``/``true`` = the cpu count);
+    * ``False``/``0`` force serial, ``True`` means the cpu count;
+    * an integer >= 1 is used as the worker count.
+
+    Returns ``0`` for serial, a positive worker count, or the executor.
+    Note that one worker still exercises the full partition/ship/merge
+    machinery; :func:`repro.planner.cost.choose_partitions` simply never
+    fans out, so ``parallel=1`` degrades to the serial path in practice.
+    """
+    if isinstance(parallel, ParallelExecutor):
+        return parallel
+    if parallel is None:
+        raw = os.environ.get(PARALLEL_ENV, "").strip().lower()
+        if not raw or raw in ("0", "off", "false", "no"):
+            return 0
+        if raw in ("auto", "true", "on", "yes"):
+            return os.cpu_count() or 1
+        try:
+            return max(int(raw), 0)
+        except ValueError:
+            raise ValueError(
+                f"{PARALLEL_ENV}={raw!r} is not a worker count; expected an "
+                "integer, 'auto' or 'off'"
+            ) from None
+    if parallel is True:
+        return os.cpu_count() or 1
+    if parallel is False:
+        return 0
+    workers = int(parallel)
+    if workers < 0:
+        raise ValueError(f"parallel={parallel!r}: worker count cannot be negative")
+    return workers
+
+
+class ParallelExecutor:
+    """A reusable pool of shared-nothing worker processes.
+
+    ``max_workers`` is the pool size (default: the cpu count);
+    ``start_method`` overrides the multiprocessing start method (default:
+    ``$REPRO_PARALLEL_START``, then the platform default).  The pool itself
+    is created on first use and torn down by :meth:`close` (also usable as
+    a context manager).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        start_method: str | None = None,
+        config: WorkerConfig | None = None,
+    ):
+        workers = resolve_parallel(max_workers if max_workers is not None else True)
+        if isinstance(workers, ParallelExecutor):  # pragma: no cover - defensive
+            raise TypeError("max_workers must be a count, not an executor")
+        self.workers = max(int(workers), 1)
+        self.start_method = (
+            start_method or os.environ.get(PARALLEL_START_ENV) or None
+        )
+        self.config = config if config is not None else capture_worker_config()
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # -- pool lifecycle ----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("ParallelExecutor is closed")
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=initialize_worker,
+                initargs=(self.config,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+    # -- broadcast + task batches ------------------------------------------------
+    def broadcast(self, payload: Any) -> tuple[str, bytes]:
+        """Pickle a run's shared payload once; returns ``(token, blob)``.
+
+        Raises :class:`~repro.errors.SerializationError` when the payload
+        cannot cross a process boundary (opaque predicate closures raise it
+        themselves; anything else unpicklable is wrapped), which callers
+        treat as a decline-to-serial signal.
+        """
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except SerializationError:
+            raise
+        except Exception as exc:
+            raise SerializationError(
+                f"cannot ship payload to worker processes: {exc}"
+            ) from exc
+        return f"bx{next(_token_counter)}-{id(self):x}", blob
+
+    def dumps(self, value: Any) -> bytes:
+        """Pickle a per-task value under the same error contract as broadcast."""
+        try:
+            return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except SerializationError:
+            raise
+        except Exception as exc:
+            raise SerializationError(
+                f"cannot ship payload to worker processes: {exc}"
+            ) from exc
+
+    def run_tasks(self, fn: Callable[..., Any], payloads: Sequence[tuple]) -> List[Any]:
+        """Run ``fn(*payload)`` for each payload; results in submission order."""
+        if not payloads:
+            return []
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, *payload) for payload in payloads]
+        return [future.result() for future in futures]
+
+
+# -- shared executors ----------------------------------------------------------
+#: (workers, start method, config) -> pool, so repeated ``parallel=N`` calls
+#: (and the REPRO_PARALLEL environment path) reuse warm workers instead of
+#: paying process startup per query.  Keyed by the captured config: if the
+#: parent reconfigures (storage default, tracing), a fresh pool with the new
+#: config replaces the stale one.
+_SHARED: dict = {}
+_SHARED_LIMIT = 2
+
+
+def shared_executor(
+    workers: int, *, start_method: str | None = None
+) -> ParallelExecutor:
+    """The process-wide pool for ``workers`` under the current configuration."""
+    config = capture_worker_config()
+    key = (
+        workers,
+        start_method or os.environ.get(PARALLEL_START_ENV) or None,
+        config,
+    )
+    executor = _SHARED.get(key)
+    if executor is None or executor.closed:
+        executor = ParallelExecutor(
+            workers, start_method=start_method, config=config
+        )
+        _SHARED[key] = executor
+        while len(_SHARED) > _SHARED_LIMIT:
+            stale_key = next(iter(k for k in _SHARED if k != key))
+            _SHARED.pop(stale_key).close()
+    return executor
+
+
+def shutdown_executors() -> None:
+    """Close every shared pool (tests and interpreter exit)."""
+    while _SHARED:
+        _, executor = _SHARED.popitem()
+        executor.close()
+
+
+atexit.register(shutdown_executors)

@@ -1,0 +1,128 @@
+"""Merging per-partition partials, and the single parallel-safety chokepoint.
+
+``parallel_merge_ops`` mirrors :func:`repro.engine.vectorized.vector_ops_for`:
+it is the one place that decides whether a semiring's values may be summed
+across process boundaries.  A semiring qualifies when
+
+* its ``+`` is associative and commutative (every semiring's is -- that is
+  Definition 3.1), **and**
+* its values have a *canonical representation*: combining the same multiset
+  of contributions in any grouping/order yields ``==``-equal values, **and**
+* its values pickle round-trip.
+
+Numbers, booleans, frozenset-based witnesses, minimized positive Boolean
+expressions and monomial-dict polynomials all qualify.  Hash-consed circuit
+nodes do **not**: their equality is representation identity and a
+re-associated ``+``-chain builds a structurally different (if equivalent)
+circuit, so circuits decline here and evaluation stays on the serial path --
+exactly how non-vectorizable semirings decline ``vector_ops_for``.
+
+The merge itself is the semi-naive ``_merge`` discipline: contributions are
+grouped per output tuple and combined with **one** ``+``-chain
+(:func:`repro.engine.kernels.combine_contributions`), taking the guarded
+vectorized accumulation (:func:`repro.engine.vectorized.try_merge_contributions`)
+when the semiring has array ops -- the same int64-overflow guard as the
+serial columnar path, falling back to exact Python arithmetic when a batch
+could overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.engine.kernels import combine_contributions
+from repro.engine.vectorized import try_merge_contributions
+from repro.obs import trace as _trace
+from repro.relations.krelation import KRelation
+from repro.semirings.base import Semiring
+
+__all__ = [
+    "PARALLEL_SAFE_SEMIRINGS",
+    "parallel_merge_ops",
+    "merge_contribution_map",
+    "merge_relations",
+]
+
+#: Semirings (by registry name) whose values may be merged across process
+#: boundaries: canonical representation + picklable values.  Instrumented
+#: wrappers mirror their delegate's name and qualify with it.
+PARALLEL_SAFE_SEMIRINGS = frozenset(
+    {
+        "B",
+        "N",
+        "N∞",
+        "Z",
+        "Tropical",
+        "Fuzzy",
+        "Viterbi",
+        "PosBool(B)",
+        "Why(X)",
+        "Why-witness(X)",
+        "N[X]",
+        "Z[X]",
+    }
+)
+
+
+def parallel_merge_ops(semiring: Semiring) -> bool:
+    """Whether ``semiring`` partials may be shipped and ``+``-merged exactly.
+
+    The single decline chokepoint for partition-parallel execution; see the
+    module docstring for the criteria.  Truncated power series and event
+    semirings qualify (their names carry the degree bound / world count,
+    hence the prefix matches); circuits and other representation-sensitive
+    carriers do not.
+    """
+    name = semiring.name
+    return (
+        name in PARALLEL_SAFE_SEMIRINGS
+        or name.startswith("N∞[[X]]")
+        or name.startswith("P(Ω)")
+    )
+
+
+def merge_contribution_map(
+    semiring: Semiring, contributions: Dict[Any, List[Any]]
+) -> Dict[Any, Any]:
+    """One ``+``-chain per key over each key's contribution batch.
+
+    Keys whose total is the semiring zero are dropped (the stored-zero
+    invariant of Definition 3.1).  The vectorized accumulation path is
+    tried first; its int64 guard falls back to exact Python folds.
+    """
+    merged = try_merge_contributions(semiring, contributions)
+    if merged is not None:
+        return merged
+    out: Dict[Any, Any] = {}
+    for key, batch in contributions.items():
+        total = combine_contributions(semiring, batch)
+        if not semiring.is_zero(total):
+            out[key] = total
+    return out
+
+
+def merge_relations(parts: Iterable[KRelation], template: KRelation) -> KRelation:
+    """Merge per-partition result K-relations into one (exact by ``+``-assoc).
+
+    ``template`` supplies the semiring, schema and storage backend of the
+    merged result (any serial evaluation of the same plan produces one).
+    Distinct partitions may derive the same output tuple -- a projection can
+    collapse different driver rows -- so contributions are batched per tuple
+    and combined with a single ``+``-chain each.
+    """
+    contributions: Dict[Any, List[Any]] = {}
+    for part in parts:
+        for tup, annotation in part.items():
+            batch = contributions.get(tup)
+            if batch is None:
+                contributions[tup] = [annotation]
+            else:
+                batch.append(annotation)
+    semiring = template.semiring
+    with _trace.span(
+        "parallel.merge", tuples=len(contributions), semiring=semiring.name
+    ):
+        merged = merge_contribution_map(semiring, contributions)
+        result = KRelation(semiring, template.schema, storage=template.storage)
+        result.merge_delta(merged.items())
+    return result

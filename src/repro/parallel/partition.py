@@ -1,0 +1,69 @@
+"""Hash partitioning of rows on a driver/join key.
+
+The exactness argument is Proposition 3.4's associativity/commutativity of
+the semiring ``+``: every derivation of an output tuple uses exactly one
+row of the partitioned driver relation, so splitting the driver into
+disjoint partitions groups each output tuple's contribution multiset by
+partition, and re-associating the per-partition partial sums with a final
+``+``-chain reproduces the serial total.  Any disjoint covering split is
+exact; hashing on the join key additionally keeps co-joining rows together
+(locality), and a round-robin split is used when no key is available.
+
+Hashing uses the parent process's ``hash()`` only -- Python's string hash
+is salted per process, so partition assignments are never recomputed on
+the worker side; workers receive explicit rows (or row indexes into a
+broadcast store) instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+__all__ = ["partition_rows", "partition_indexes"]
+
+
+def partition_rows(
+    rows: Sequence[Any],
+    partitions: int,
+    key: Callable[[Any], Any] | None = None,
+) -> List[List[Any]]:
+    """Split ``rows`` into ``partitions`` disjoint lists.
+
+    With ``key`` the split hashes ``key(row)`` (rows sharing a join key land
+    in the same partition); without one it deals rows round-robin.  Every
+    row appears in exactly one partition, and the concatenation of the
+    partitions is a permutation of ``rows``.
+    """
+    if partitions <= 1:
+        return [list(rows)]
+    parts: List[List[Any]] = [[] for _ in range(partitions)]
+    if key is None:
+        for index, row in enumerate(rows):
+            parts[index % partitions].append(row)
+    else:
+        for row in rows:
+            parts[hash(key(row)) % partitions].append(row)
+    return parts
+
+
+def partition_indexes(
+    rows: Sequence[Any],
+    partitions: int,
+    key: Callable[[Any], Any] | None = None,
+) -> List[List[int]]:
+    """Like :func:`partition_rows` but returns row *indexes* per partition.
+
+    Used when the rows themselves are already broadcast to the workers (the
+    seed round's EDB stores are part of the broadcast database), so shipping
+    integer indexes avoids re-pickling the rows.
+    """
+    if partitions <= 1:
+        return [list(range(len(rows)))]
+    parts: List[List[int]] = [[] for _ in range(partitions)]
+    if key is None:
+        for index in range(len(rows)):
+            parts[index % partitions].append(index)
+    else:
+        for index, row in enumerate(rows):
+            parts[hash(key(row)) % partitions].append(index)
+    return parts

@@ -1,0 +1,253 @@
+"""Partition-parallel evaluation of positive-algebra queries.
+
+The strategy is textbook shared-nothing: pick one base relation as the
+**driver**, hash-partition it on its join key, broadcast every other
+relation, evaluate the unchanged plan over each partition in a worker
+process, and merge the partial K-relations with one ``+``-chain per output
+tuple.  Exactness rides on Proposition 3.4 (``+`` associative/commutative
+in any commutative semiring) plus a *linearity* condition on how the driver
+occurs in the plan -- every derivation of an output tuple must consume
+exactly one driver row, so the partials' contribution multisets partition
+the serial one:
+
+* the driver relation is referenced **exactly once** in the plan (a
+  self-join consumes two driver rows per output, so relations referenced
+  twice never drive);
+* on the path from the driver to the root, joins are fine (the other side
+  is replicated), but a **union with a replicated branch** is not: summing
+  ``R ∪ S_i`` over ``n`` partitions counts ``R`` ``n`` times.  The status
+  analysis (:func:`_partition_status`) propagates partitioned/replicated
+  labels bottom-up and requires the root to be *partitioned*.
+
+Anything that fails these checks -- or a semiring that declines
+:func:`~repro.parallel.merge.parallel_merge_ops`, or a plan whose pickled
+payload cannot cross a process boundary (opaque predicate closures) --
+returns ``None`` and the caller falls back to the serial executor.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Dict, List, Optional
+
+from repro.algebra.ast import (
+    EmptyRelation,
+    Join,
+    Project,
+    Query,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+from repro.errors import SerializationError
+from repro.obs import trace as _trace
+from repro.parallel.executor import ParallelExecutor, shared_executor
+from repro.parallel.merge import merge_relations, parallel_merge_ops
+from repro.parallel.partition import partition_rows
+from repro.planner.cost import choose_partitions
+from repro.planner.plans import catalog_of, infer_attributes
+from repro.relations.database import Database
+from repro.relations.krelation import KRelation
+
+__all__ = ["execute_query_parallel"]
+
+_PARTITIONED, _REPLICATED, _ANY, _INVALID = "partitioned", "replicated", "any", "invalid"
+
+
+def _reference_counts(query: Query) -> Dict[str, int]:
+    counts: Dict[str, int] = collections.Counter()
+    stack = [query]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, RelationRef):
+            counts[node.name] += 1
+        stack.extend(node.children())
+    return dict(counts)
+
+
+def _partition_status(node: Query, driver: RelationRef) -> str:
+    """Bottom-up partitioned/replicated labelling relative to ``driver``.
+
+    ``any`` is the empty relation's label (it merges with either side --
+    the result is empty regardless of replication).  ``invalid`` marks
+    shapes whose per-partition sum differs from the serial result.
+    """
+    if node is driver:
+        return _PARTITIONED
+    if isinstance(node, RelationRef):
+        return _REPLICATED
+    if isinstance(node, EmptyRelation):
+        return _ANY
+    if isinstance(node, (Project, Select, Rename)):
+        return _partition_status(node.child, driver)
+    if isinstance(node, Join):
+        left = _partition_status(node.left, driver)
+        right = _partition_status(node.right, driver)
+        if _INVALID in (left, right):
+            return _INVALID
+        if _PARTITIONED in (left, right):
+            # Join(partitioned, partitioned) cannot occur: the driver is
+            # referenced exactly once, so at most one side is partitioned.
+            return _PARTITIONED
+        return _ANY if left == right == _ANY else _REPLICATED
+    if isinstance(node, Union):
+        left = _partition_status(node.left, driver)
+        right = _partition_status(node.right, driver)
+        if _INVALID in (left, right):
+            return _INVALID
+        if _PARTITIONED in (left, right):
+            other = right if left == _PARTITIONED else left
+            # Union with a replicated branch replicates that branch's
+            # annotations into every partial: n partials sum to n * branch.
+            return _PARTITIONED if other == _ANY else _INVALID
+        return _ANY if left == right == _ANY else _REPLICATED
+    return _INVALID  # unknown operator: stay serial
+
+
+def _find_reference(query: Query, name: str) -> Optional[RelationRef]:
+    stack = [query]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, RelationRef) and node.name == name:
+            return node
+        stack.extend(node.children())
+    return None
+
+
+def _join_key_attributes(
+    query: Query, driver: RelationRef, database: Database
+) -> Optional[List[str]]:
+    """The driver-side attributes of the driver's nearest enclosing join.
+
+    Walks the root-to-driver path for the innermost :class:`Join` above the
+    driver and intersects its two children's inferred schemas.  Returns the
+    shared attributes when they all exist on the driver's own schema (no
+    rename between driver and join), else ``None`` -- the partitioner then
+    hashes whole rows, which is equally exact, just blind to join locality.
+    """
+
+    def path_to(node: Query) -> Optional[List[Query]]:
+        if node is driver:
+            return [node]
+        for child in node.children():
+            tail = path_to(child)
+            if tail is not None:
+                return [node] + tail
+        return None
+
+    path = path_to(query)
+    if path is None:  # pragma: no cover - driver always found
+        return None
+    catalog = catalog_of(database)
+    for node in reversed(path[:-1]):
+        if isinstance(node, Join):
+            left = infer_attributes(node.left, catalog)
+            right = infer_attributes(node.right, catalog)
+            if left is None or right is None:
+                return None
+            shared = sorted(set(left) & set(right))
+            schema_attrs = set(database.relation(driver.name).schema.attributes)
+            if shared and set(shared) <= schema_attrs:
+                return shared
+            return None
+    return None
+
+
+def execute_query_parallel(
+    query: Query,
+    database: Database,
+    *,
+    parallel: Any,
+    storage: Any = None,
+) -> Optional[KRelation]:
+    """Evaluate ``query`` partition-parallel, or ``None`` to decline.
+
+    ``parallel`` is a resolved worker count (>= 1) or a
+    :class:`~repro.parallel.executor.ParallelExecutor` to reuse.  The
+    result, when not declined, is annotation-identical to the serial
+    executors (the differential suite in ``tests/parallel`` checks this
+    across semirings, storage backends and worker counts).
+    """
+    semiring = database.semiring
+    if not parallel_merge_ops(semiring):
+        return None
+    if isinstance(parallel, ParallelExecutor):
+        executor = parallel
+    else:
+        workers = int(parallel)
+        if workers < 1:
+            return None
+        executor = None  # created lazily, only once a fan-out is worthwhile
+
+    counts = _reference_counts(query)
+    candidates = [
+        name
+        for name, count in counts.items()
+        if count == 1 and name in database
+    ]
+    # Largest relation first: the driver is the table worth splitting.
+    candidates.sort(key=lambda name: -len(database.relation(name)))
+
+    driver = None
+    for name in candidates:
+        reference = _find_reference(query, name)
+        if reference is not None and _partition_status(query, reference) == _PARTITIONED:
+            driver = reference
+            break
+    if driver is None:
+        return None
+
+    driver_relation = database.relation(driver.name)
+    max_workers = executor.workers if executor is not None else workers
+    decision = choose_partitions(len(driver_relation), max_workers)
+    if decision.partitions <= 1:
+        return None
+    if executor is None:
+        executor = shared_executor(workers)
+
+    from repro.engine.compile import resolve_execution_storage
+
+    storage_kind = resolve_execution_storage(storage, database)
+    needed = query.relation_names()
+    rest = {
+        name: database.relation(name)
+        for name in needed
+        if name != driver.name and name in database
+    }
+    try:
+        token, blob = executor.broadcast(
+            (query, semiring, driver.name, rest, storage_kind)
+        )
+    except SerializationError:
+        return None
+
+    key_attributes = _join_key_attributes(query, driver, database)
+    with _trace.span(
+        "parallel.partition",
+        relation=driver.name,
+        partitions=decision.partitions,
+        rows=len(driver_relation),
+        key=",".join(key_attributes) if key_attributes else "<row>",
+    ):
+        if key_attributes:
+            key = lambda item: tuple(item[0][a] for a in key_attributes)
+        else:
+            key = lambda item: item[0]
+        parts = partition_rows(list(driver_relation.items()), decision.partitions, key)
+        payloads = []
+        for part in parts:
+            partition = KRelation(
+                semiring, driver_relation.schema, storage=driver_relation.storage
+            )
+            partition.merge_delta(part)
+            payloads.append((token, blob, executor.dumps(partition)))
+
+    from repro.parallel.worker import run_query_task
+
+    with _trace.span(
+        "parallel.worker", kind="query", tasks=len(payloads), workers=executor.workers
+    ):
+        partials = executor.run_tasks(run_query_task, payloads)
+    template = partials[0]
+    return merge_relations(partials, template)

@@ -1,0 +1,165 @@
+"""Worker-side entry points of the process pool (module-level, spawn-safe).
+
+Everything a worker runs must be importable by name -- ``spawn`` pickles
+the initializer and task functions by reference -- so this module holds
+only top-level functions plus a small per-process cache of *broadcast*
+state: the coordinator pickles a run's shared payload (a query's replicated
+relations, a datalog run's program + database) once, tags it with a token,
+and sends the same bytes with every task; each worker unpickles it on first
+sight and reuses the materialized state -- stores, indexes, compiled plans
+-- for every subsequent task of the same run.
+
+The task functions are ordinary functions of their payloads: the in-process
+unit tests call them directly, and the pool calls them from worker
+processes; behaviour is identical by construction.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from typing import Any, Dict, List, Tuple
+
+from repro.parallel.config import WorkerConfig, apply_worker_config
+
+__all__ = [
+    "initialize_worker",
+    "run_query_task",
+    "run_datalog_tasks",
+    "probe_configuration",
+]
+
+#: token -> materialized broadcast state; small LRU so a long-lived pool
+#: serving many runs does not accumulate every run's database.
+_BROADCAST: "OrderedDict[str, Any]" = OrderedDict()
+_BROADCAST_LIMIT = 4
+
+
+def initialize_worker(config: WorkerConfig) -> None:
+    """Pool initializer: replay the parent's effective configuration."""
+    apply_worker_config(config)
+
+
+def probe_configuration() -> Tuple[str, bool, bool]:
+    """The calling process's effective configuration (test/debug hook).
+
+    Returns ``(resolve_storage_kind(None), debug-tuples flag, tracing
+    enabled)`` -- submitted to every pool worker, it proves the pool agrees
+    with the parent on configuration resolution.
+    """
+    from repro.obs import trace
+    from repro.relations import tuples
+    from repro.relations.storage import resolve_storage_kind
+
+    return (resolve_storage_kind(None), tuples._DEBUG_TUPLES, trace.enabled())
+
+
+def _broadcast_state(token: str, blob: bytes, build) -> Any:
+    state = _BROADCAST.get(token)
+    if state is None:
+        state = build(pickle.loads(blob))
+        _BROADCAST[token] = state
+        while len(_BROADCAST) > _BROADCAST_LIMIT:
+            _BROADCAST.popitem(last=False)
+    else:
+        _BROADCAST.move_to_end(token)
+    return state
+
+
+# -- queries ---------------------------------------------------------------------
+def run_query_task(token: str, blob: bytes, driver_blob: bytes) -> Any:
+    """Evaluate the broadcast query plan over one driver partition.
+
+    ``blob`` is the run's shared payload ``(plan, semiring, driver name,
+    replicated relations, storage kind)``; ``driver_blob`` is this task's
+    partition of the driver relation.  Returns the partial K-relation.
+    """
+    from repro.obs import trace as _trace
+
+    def build(payload):
+        return payload  # (plan, semiring, driver_name, rest, storage_kind)
+
+    plan, semiring, driver_name, rest, storage_kind = _broadcast_state(
+        token, blob, build
+    )
+    driver_part = pickle.loads(driver_blob)
+    from repro.engine import execute as _execute
+    from repro.relations.database import Database
+
+    database = Database(semiring, {**rest, driver_name: driver_part})
+    with _trace.span(
+        "parallel.worker", kind="query", driver_rows=len(driver_part)
+    ):
+        return _execute(plan, database, storage=storage_kind)
+
+
+# -- datalog ---------------------------------------------------------------------
+def _build_engine(payload):
+    from repro.datalog.seminaive import _SemiNaiveEngine
+
+    program, database, maintain_edb, storage_kind = payload
+    return _SemiNaiveEngine(
+        program,
+        database,
+        collect=False,
+        maintain_edb=maintain_edb,
+        storage=storage_kind,
+    )
+
+
+def run_datalog_tasks(
+    token: str, blob: bytes, tasks: List[Tuple[Any, ...]]
+) -> Dict[str, Dict[tuple, List[Any]]]:
+    """Fire a batch of plan partitions against the broadcast engine.
+
+    The engine is rebuilt from ``blob`` -- plan compilation is deterministic
+    in ``(program, database)``, so plan indexes agree with the parent's --
+    and holds only broadcast EDB state; IDB delta rows arrive *in* the
+    tasks, together with their annotations, because the worker's stores
+    never see the parent's derived tuples.  Task forms:
+
+    * ``("seed", plan_index, row_indexes)`` -- fire a seed plan over the
+      indexed subset of its (broadcast, identical) EDB driver store;
+    * ``("delta", predicate, plan_index, rows, annotations)`` -- fire a
+      delta plan over shipped ``(values, tup)`` rows with their aligned
+      annotation list.
+
+    Returns the non-empty slice of the round's contribution map
+    ``{predicate: {head values: [contributions]}}`` for the parent to fold
+    into its own round output before the authoritative ``_merge``.
+    """
+    from repro.obs import trace as _trace
+
+    engine = _broadcast_state(token, blob, _build_engine)
+    out = engine._fresh()
+    with _trace.span("parallel.worker", kind="datalog", tasks=len(tasks)):
+        for task in tasks:
+            if task[0] == "seed":
+                _, plan_index, row_indexes = task
+                plan = engine.seed_plans[plan_index]
+                rows = engine.stores[plan.driver.predicate].rows
+                engine._fire(plan, [rows[i] for i in row_indexes], out)
+            else:
+                _, predicate, plan_index, rows, annotations = task
+                plan = engine.delta_plans[predicate][plan_index]
+                driver_annotations = {
+                    tup: value for (_, tup), value in zip(rows, annotations)
+                }
+                engine._fire(
+                    plan, rows, out, driver_annotations=driver_annotations
+                )
+    # Pre-combine each head tuple's contribution batch with the semiring's
+    # ``+`` before shipping it back: exact by associativity, it moves the
+    # bulk of the accumulation work into the workers and shrinks the return
+    # payload to at most one value per head tuple per worker.
+    from repro.engine.kernels import combine_contributions
+
+    semiring = engine.semiring
+    return {
+        predicate: {
+            values: [combine_contributions(semiring, batch)]
+            for values, batch in emit.items()
+        }
+        for predicate, emit in out.items()
+        if emit
+    }

@@ -212,6 +212,21 @@ class ColumnarRowStore(RowStore):
         #: built at (stale entries are simply ignored).
         self._vec_cache: Any = None
 
+    def __getstate__(self):
+        # Ship only the logical contents: ``_pos`` is rebuilt from
+        # ``tuples`` (cheaper than pickling a second copy of every Tup
+        # key), the mapping adapter is a cyclic view and the vectorized
+        # scratch cache may hold numpy arrays -- neither belongs in the
+        # worker-IPC payload.
+        return (self.attributes, self.tuples, self.columns, self.annotations)
+
+    def __setstate__(self, state):
+        self.attributes, self.tuples, self.columns, self.annotations = state
+        self._pos = {tup: i for i, tup in enumerate(self.tuples)}
+        self.version = 0
+        self._mapping = None
+        self._vec_cache = None
+
     def get(self, tup: Tup, default: Any = None) -> Any:
         position = self._pos.get(tup)
         if position is None:

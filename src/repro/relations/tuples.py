@@ -172,6 +172,13 @@ class Tup:
         return Tup(combined)
 
     # -- protocol --------------------------------------------------------------
+    def __reduce__(self):
+        # Canonical tuples unpickle through the fast constructor: the items
+        # are sorted by construction, so re-validation happens only under
+        # REPRO_DEBUG_TUPLES (the receiving process's setting -- worker
+        # pools propagate the parent's flag in their init payload).
+        return (Tup._from_sorted_items, (self._items,))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Tup):
             return NotImplemented

@@ -53,11 +53,12 @@ class EventSpace:
                     f"world weights must sum to 1 (got {total}); pass normalize=True"
                 )
             self._weights = dict(weights)
+        self._worlds = frozenset(self._weights)
 
     @property
     def worlds(self) -> frozenset:
         """All world identifiers."""
-        return frozenset(self._weights)
+        return self._worlds
 
     def weight(self, world: Hashable) -> float:
         """Probability mass of a single world."""

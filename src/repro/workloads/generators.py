@@ -78,6 +78,11 @@ def random_annotation(semiring: Semiring, rng: random.Random, index: int) -> obj
         from repro.semirings.integers import ZPolynomial
 
         return ZPolynomial.var(f"x{index}")
+    if name.startswith("P(Ω)"):
+        # A random event over roughly half the space: unions and
+        # intersections both stay informative.
+        worlds = sorted(semiring.space.worlds, key=str)
+        return frozenset(rng.sample(worlds, (len(worlds) + 1) // 2))
     return semiring.one()
 
 

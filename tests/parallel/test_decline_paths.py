@@ -1,0 +1,125 @@
+"""Every decline path falls back to the serial executor, never to a wrong answer.
+
+The parallel executor is an *optimisation with an exactness proof*, and the
+proof has hypotheses: linear driver occurrence, partition-stable unions, a
+merge-safe semiring, picklable plans.  Each test here violates exactly one
+hypothesis and checks both halves of the contract -- the fan-out declines
+(returns ``None``) and the public entry points still produce the serial
+answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import Q
+from repro.algebra.predicates import OpaquePredicate
+from repro.circuits import CircuitSemiring
+from repro.datalog import evaluate_program
+from repro.datalog.seminaive import _SemiNaiveEngine
+from repro.obs.semiring import InstrumentedSemiring
+from repro.parallel import ParallelExecutor
+from repro.parallel.datalog import run_engine_parallel
+from repro.parallel.merge import parallel_merge_ops
+from repro.parallel.queries import execute_query_parallel
+from repro.planner.cost import choose_partitions as _real_choose_partitions
+from repro.semirings import NaturalsSemiring, TropicalSemiring
+from repro.workloads import (
+    chain_graph_database,
+    random_graph_database,
+    transitive_closure_program,
+)
+
+
+@pytest.fixture
+def eager(monkeypatch):
+    def eager_choice(rows, workers):
+        return _real_choose_partitions(rows, workers, row_overhead=1.0)
+
+    from repro.parallel import datalog as parallel_datalog
+    from repro.parallel import queries as parallel_queries
+
+    monkeypatch.setattr(parallel_queries, "choose_partitions", eager_choice)
+    monkeypatch.setattr(parallel_datalog, "choose_partitions", eager_choice)
+
+
+@pytest.fixture(scope="module")
+def pool2():
+    with ParallelExecutor(2, start_method="fork") as executor:
+        yield executor
+
+
+def graph_db(semiring=None, **kwargs):
+    kwargs.setdefault("nodes", 12)
+    kwargs.setdefault("edge_probability", 0.35)
+    return random_graph_database(semiring or NaturalsSemiring(), **kwargs)
+
+
+def test_self_join_declines(eager, pool2):
+    """A relation referenced twice consumes two driver rows per derivation."""
+    db = graph_db()
+    left = Q.relation("R").rename({"y": "mid"})
+    right = Q.relation("R").rename({"x": "mid"})
+    query = left.join(right).project("x", "y")
+    assert execute_query_parallel(query.optimized(db), db, parallel=pool2) is None
+    serial = query.evaluate(db)
+    assert query.evaluate(db, parallel=pool2).equal_to(serial)
+
+
+def test_union_with_replicated_branch_declines(eager, pool2):
+    """Summing ``R_i ∪ S`` over partitions would count ``S`` once per worker."""
+    db = graph_db()
+    small = graph_db(nodes=6, edge_probability=0.6, seed=17)
+    db.register("S", small.relation("R"))
+    query = Q.relation("R").union(Q.relation("S"))
+    assert execute_query_parallel(query.optimized(db), db, parallel=pool2) is None
+    serial = query.evaluate(db)
+    assert query.evaluate(db, parallel=pool2).equal_to(serial)
+
+
+def test_opaque_closure_predicate_falls_back(eager, pool2):
+    """An unpicklable plan declines at broadcast time, transparently."""
+    db = graph_db()
+    query = Q.relation("R").select(
+        OpaquePredicate(lambda tup: tup["x"] != tup["y"]), description="x != y"
+    )
+    assert execute_query_parallel(query.optimized(db), db, parallel=pool2) is None
+    serial = query.evaluate(db)
+    assert query.evaluate(db, parallel=pool2).equal_to(serial)
+
+
+def test_collect_mode_engine_declines(eager, pool2):
+    """Collect mode threads one contribution list through rounds: serial only."""
+    program = transitive_closure_program(linear=True)
+    db = chain_graph_database(NaturalsSemiring(), length=10)
+    engine = _SemiNaiveEngine(program, db, collect=True, maintain_edb=False)
+    assert run_engine_parallel(engine, max_iterations=100, parallel=pool2) is None
+
+
+def test_circuit_semiring_datalog_declines(eager, pool2):
+    program = transitive_closure_program(linear=True)
+    db = chain_graph_database(CircuitSemiring(), length=8)
+    engine = _SemiNaiveEngine(program, db, collect=False, maintain_edb=False)
+    assert run_engine_parallel(engine, max_iterations=100, parallel=pool2) is None
+    # The public path silently falls back and agrees with itself serially.
+    serial = evaluate_program(program, db, engine="seminaive")
+    par = evaluate_program(program, db, engine="seminaive", parallel=pool2)
+    assert par.annotations == serial.annotations
+
+
+def test_parallel_merge_ops_classification():
+    assert parallel_merge_ops(NaturalsSemiring())
+    assert parallel_merge_ops(TropicalSemiring())
+    assert not parallel_merge_ops(CircuitSemiring())
+    # Instrumentation wrappers mirror the delegate's name and so qualify --
+    # the worker's wrapper counts locally, exactness is unaffected.
+    assert parallel_merge_ops(InstrumentedSemiring(NaturalsSemiring()))
+    assert not parallel_merge_ops(InstrumentedSemiring(CircuitSemiring()))
+
+
+def test_tiny_inputs_stay_serial(pool2):
+    """Without the eager fixture the cost model keeps small inputs serial."""
+    db = graph_db(nodes=8, edge_probability=0.3)
+    query = Q.relation("R").project("x")
+    assert execute_query_parallel(query.optimized(db), db, parallel=pool2) is None
+    assert query.evaluate(db, parallel=pool2).equal_to(query.evaluate(db))

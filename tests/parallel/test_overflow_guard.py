@@ -1,0 +1,61 @@
+"""The int64 guard on the merge accumulation (satellite: overflow safety).
+
+Per-partition partials can each fit comfortably in int64 yet overflow when
+the merge sums them -- the classic distributed-aggregation bug.  The merge
+therefore routes batched accumulation through the same ``_INT64_GUARD`` as
+the serial columnar kernels and falls back to exact Python arithmetic when
+a batch could overflow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.vectorized import numpy_available, try_merge_contributions
+from repro.parallel.merge import merge_contribution_map, merge_relations
+from repro.relations.krelation import KRelation
+from repro.relations.schema import Schema
+from repro.semirings import IntegerRing, NaturalsSemiring
+
+NEAR_BOUNDARY = 3 << 61  # fits int64; two of them do not
+
+
+def test_vectorized_merge_declines_near_boundary_batches():
+    if not numpy_available():
+        pytest.skip("guard only engages with a numpy runtime")
+    contributions = {"k": [NEAR_BOUNDARY, NEAR_BOUNDARY]}
+    assert try_merge_contributions(NaturalsSemiring(), contributions) is None
+
+
+def test_merge_is_exact_past_int64():
+    semiring = NaturalsSemiring()
+    contributions = {"k": [NEAR_BOUNDARY, NEAR_BOUNDARY, 1]}
+    merged = merge_contribution_map(semiring, contributions)
+    assert merged["k"] == 2 * NEAR_BOUNDARY + 1  # exact, not wrapped
+
+def test_merge_matches_python_fold_on_small_values():
+    semiring = NaturalsSemiring()
+    contributions = {i: [i, i + 1, 2] for i in range(50)}
+    merged = merge_contribution_map(semiring, contributions)
+    assert merged == {i: 2 * i + 3 for i in range(50)}
+
+
+def test_merge_drops_zero_totals():
+    semiring = IntegerRing()
+    merged = merge_contribution_map(semiring, {"a": [5, -5], "b": [2, 1]})
+    assert merged == {"b": 3}
+
+
+def test_relation_merge_near_boundary_partials():
+    """Partition partials just under the guard sum exactly across partitions."""
+    semiring = NaturalsSemiring()
+    schema = Schema(["a"])
+    parts = []
+    for _ in range(3):
+        part = KRelation(semiring, schema)
+        part.add({"a": 1}, NEAR_BOUNDARY)
+        part.add({"a": 2}, 1)
+        parts.append(part)
+    merged = merge_relations(parts, parts[0])
+    assert merged.annotation({"a": 1}) == 3 * NEAR_BOUNDARY
+    assert merged.annotation({"a": 2}) == 3

@@ -1,0 +1,184 @@
+"""Three-way differential harness: serial-row vs serial-columnar vs parallel.
+
+Every cell of the matrix -- queries, datalog fixpoints and incremental
+maintenance, crossed with semirings from plain booleans to provenance
+polynomials and circuits -- must produce *annotation-identical* results
+whichever executor computes them.  Parallelism here is an implementation
+detail licensed by Proposition 3.4; these tests are the contract that it
+never becomes observable.
+
+Semirings whose merge cannot be parallelised (circuits: identity-interned
+nodes) must *decline* into the serial path rather than approximate, so they
+stay in the matrix and are asserted equal like everyone else.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra import Q
+from repro.circuits import CircuitSemiring
+from repro.datalog import evaluate_program
+from repro.incremental import IncrementalDatalog
+from repro.parallel import ParallelExecutor
+from repro.parallel.merge import parallel_merge_ops
+from repro.parallel.queries import execute_query_parallel
+from repro.planner.cost import choose_partitions as _real_choose_partitions
+from repro.semirings import (
+    BooleanSemiring,
+    IntegerRing,
+    NaturalsSemiring,
+    PosBoolSemiring,
+    ProvenancePolynomialSemiring,
+    TropicalSemiring,
+)
+from repro.workloads import (
+    chain_graph_database,
+    random_annotation,
+    random_graph_database,
+    transitive_closure_program,
+)
+
+SEMIRINGS = [
+    BooleanSemiring(),
+    NaturalsSemiring(),
+    IntegerRing(),
+    TropicalSemiring(),
+    PosBoolSemiring(),
+    ProvenancePolynomialSemiring(),
+    CircuitSemiring(),
+]
+IDS = [s.name for s in SEMIRINGS]
+
+
+@pytest.fixture
+def eager(monkeypatch):
+    """Fan out on tiny test inputs: drop the per-row overhead to one."""
+
+    def eager_choice(rows, workers):
+        return _real_choose_partitions(rows, workers, row_overhead=1.0)
+
+    from repro.parallel import datalog as parallel_datalog
+    from repro.parallel import queries as parallel_queries
+
+    monkeypatch.setattr(parallel_queries, "choose_partitions", eager_choice)
+    monkeypatch.setattr(parallel_datalog, "choose_partitions", eager_choice)
+
+
+@pytest.fixture(scope="module")
+def pool2():
+    with ParallelExecutor(2, start_method="fork") as executor:
+        yield executor
+
+
+def two_relation_db(semiring, *, nodes=12, seed=0):
+    """A larger driver candidate ``R`` plus a smaller replicated ``S``."""
+    db = random_graph_database(
+        semiring, nodes=nodes, edge_probability=0.35, seed=seed
+    )
+    small = random_graph_database(
+        semiring, nodes=nodes // 2, edge_probability=0.6, seed=seed + 17
+    )
+    db.register("S", small.relation("R"))
+    return db
+
+
+def two_hop_query():
+    """``R(x, mid) ⋈ S(mid, y)`` projected to endpoints (the merge sums)."""
+    left = Q.relation("R").rename({"y": "mid"})
+    right = Q.relation("S").rename({"x": "mid"})
+    return left.join(right).project("x", "y")
+
+
+# -- queries ---------------------------------------------------------------------
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=IDS)
+def test_query_three_way(semiring, eager, pool2):
+    db = two_relation_db(semiring)
+    query = two_hop_query()
+    row = query.evaluate(db, storage="row")
+    columnar = query.evaluate(db, storage="columnar")
+    assert row.equal_to(columnar)
+    partial = execute_query_parallel(query.optimized(db), db, parallel=pool2)
+    if parallel_merge_ops(semiring):
+        assert partial is not None, "qualifying semiring must fan out"
+        assert partial.equal_to(row)
+    else:
+        assert partial is None, "circuit merge must decline, not approximate"
+    # Through the public entry point the decline is invisible either way.
+    assert query.evaluate(db, parallel=pool2).equal_to(row)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_query_across_worker_counts(workers, eager):
+    semiring = NaturalsSemiring()
+    db = two_relation_db(semiring, nodes=14, seed=2)
+    query = two_hop_query()
+    serial = query.evaluate(db)
+    with ParallelExecutor(workers, start_method="fork") as executor:
+        assert query.evaluate(db, parallel=executor).equal_to(serial)
+
+
+# -- datalog fixpoints -----------------------------------------------------------
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=IDS)
+def test_datalog_three_way(semiring, eager, pool2):
+    """Linear transitive closure over an acyclic chain, every semiring."""
+    program = transitive_closure_program(linear=True)
+    db = chain_graph_database(semiring, length=16, seed=3)
+    row = evaluate_program(program, db, engine="seminaive", storage="row")
+    columnar = evaluate_program(program, db, engine="seminaive", storage="columnar")
+    par = evaluate_program(program, db, engine="seminaive", parallel=pool2)
+    assert row.annotations == columnar.annotations
+    assert par.annotations == row.annotations
+    assert par.iterations == row.iterations
+
+
+@pytest.mark.parametrize(
+    "semiring",
+    [BooleanSemiring(), TropicalSemiring(), PosBoolSemiring()],
+    ids=["B", "Tropical", "PosBool(B)"],
+)
+def test_datalog_cyclic_graph(semiring, eager, pool2):
+    """Cyclic graphs: idempotent fixpoints converge identically in parallel."""
+    program = transitive_closure_program(linear=True)
+    db = random_graph_database(semiring, nodes=11, edge_probability=0.3, seed=5)
+    serial = evaluate_program(program, db, engine="seminaive")
+    par = evaluate_program(program, db, engine="seminaive", parallel=pool2)
+    assert par.annotations == serial.annotations
+    assert par.iterations == serial.iterations
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_datalog_across_worker_counts(workers, eager):
+    semiring = TropicalSemiring()
+    program = transitive_closure_program(linear=True)
+    db = random_graph_database(semiring, nodes=11, edge_probability=0.3, seed=7)
+    serial = evaluate_program(program, db, engine="seminaive")
+    with ParallelExecutor(workers, start_method="fork") as executor:
+        par = evaluate_program(program, db, engine="seminaive", parallel=executor)
+    assert par.annotations == serial.annotations
+
+
+# -- incremental maintenance -----------------------------------------------------
+@pytest.mark.parametrize("semiring", SEMIRINGS, ids=IDS)
+def test_incremental_initial_fixpoint_and_insert(semiring, eager, pool2):
+    """A parallel initial fixpoint maintains identically to a serial one."""
+    program = transitive_closure_program(linear=True)
+    serial = IncrementalDatalog(
+        program, chain_graph_database(semiring, length=12, seed=9)
+    )
+    par = IncrementalDatalog(
+        program,
+        chain_graph_database(semiring, length=12, seed=9),
+        parallel=pool2,
+    )
+    assert serial.result.annotations == par.result.annotations
+    # A forward shortcut edge keeps the graph acyclic (finite provenance for
+    # the non-idempotent semirings) while rewriting many closure annotations.
+    rng = random.Random(99)
+    update = [(("n0", "n7"), random_annotation(semiring, rng, 101))]
+    serial.insert("R", update)
+    par.insert("R", update)
+    assert serial.result.annotations == par.result.annotations
+    assert serial.relation("Q").equal_to(par.relation("Q"))

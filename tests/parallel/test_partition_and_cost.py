@@ -1,0 +1,113 @@
+"""Unit tests: the partitioner, the cost decision and ``parallel=`` resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import ParallelExecutor, resolve_parallel
+from repro.parallel.partition import partition_indexes, partition_rows
+from repro.planner.cost import PARALLEL_ROW_OVERHEAD, choose_partitions
+
+
+class TestChoosePartitions:
+    def test_small_inputs_stay_serial(self):
+        decision = choose_partitions(100, 4)
+        assert decision.partitions == 1
+        assert "serial" in decision.reason
+
+    def test_large_inputs_use_all_workers(self):
+        decision = choose_partitions(100_000, 4)
+        assert decision.partitions == 4
+
+    def test_fanout_capped_by_amortization(self):
+        # 1500 rows over 8 workers: only 2 partitions amortize the overhead.
+        assert choose_partitions(1500, 8, row_overhead=512.0).partitions == 2
+
+    def test_single_worker_never_fans_out(self):
+        assert choose_partitions(10**9, 1).partitions == 1
+
+    def test_threshold_is_twice_the_row_overhead(self):
+        below = choose_partitions(2 * PARALLEL_ROW_OVERHEAD - 1, 4)
+        at = choose_partitions(2 * PARALLEL_ROW_OVERHEAD, 4)
+        assert below.partitions == 1
+        assert at.partitions >= 2
+
+
+class TestPartitioner:
+    def test_hash_partitions_cover_disjointly(self):
+        rows = [(i, i % 7) for i in range(200)]
+        parts = partition_rows(rows, 4, key=lambda row: row[1])
+        flat = [row for part in parts for row in part]
+        assert sorted(flat) == sorted(rows)
+        assert len(parts) == 4
+
+    def test_equal_keys_land_together(self):
+        rows = [(i, i % 5) for i in range(100)]
+        parts = partition_rows(rows, 3, key=lambda row: row[1])
+        for key in range(5):
+            homes = [
+                index
+                for index, part in enumerate(parts)
+                if any(row[1] == key for row in part)
+            ]
+            assert len(homes) == 1
+
+    def test_round_robin_without_key(self):
+        parts = partition_rows(list(range(10)), 3)
+        assert parts == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+
+    def test_single_partition_is_identity(self):
+        rows = [1, 2, 3]
+        assert partition_rows(rows, 1) == [rows]
+
+    def test_indexes_mirror_rows(self):
+        rows = [("a", 1), ("b", 2), ("c", 1), ("d", 3)]
+        by_rows = partition_rows(rows, 2, key=lambda row: row[1])
+        by_index = partition_indexes(rows, 2, key=lambda row: row[1])
+        assert [[rows[i] for i in part] for part in by_index] == by_rows
+        flat = sorted(i for part in by_index for i in part)
+        assert flat == list(range(len(rows)))
+
+
+class TestResolveParallel:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert resolve_parallel(None) == 0
+
+    @pytest.mark.parametrize("raw,expected", [("0", 0), ("off", 0), ("3", 3)])
+    def test_environment_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_PARALLEL", raw)
+        assert resolve_parallel(None) == expected
+
+    def test_environment_auto_uses_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_PARALLEL", "auto")
+        assert resolve_parallel(None) == (os.cpu_count() or 1)
+
+    def test_environment_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "many")
+        with pytest.raises(ValueError, match="REPRO_PARALLEL"):
+            resolve_parallel(None)
+
+    def test_explicit_values(self):
+        import os
+
+        assert resolve_parallel(False) == 0
+        assert resolve_parallel(0) == 0
+        assert resolve_parallel(2) == 2
+        assert resolve_parallel(True) == (os.cpu_count() or 1)
+        with pytest.raises(ValueError):
+            resolve_parallel(-1)
+
+    def test_executor_passes_through(self):
+        executor = ParallelExecutor(1, start_method="fork")
+        try:
+            assert resolve_parallel(executor) is executor
+        finally:
+            executor.close()
+
+    def test_explicit_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "8")
+        assert resolve_parallel(2) == 2
+        assert resolve_parallel(0) == 0

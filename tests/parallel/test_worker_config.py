@@ -1,0 +1,79 @@
+"""Worker processes must resolve configuration exactly like the parent.
+
+A ``spawn`` worker re-imports :mod:`repro` from scratch, so programmatic
+parent state (a storage default set after import, a flipped tuple-debug
+flag, tracing enabled by call rather than environment) is precisely what a
+naive env-inheriting pool would lose.  These tests pin the capture/apply
+contract in-process and then against a real spawned pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.parallel import (
+    ParallelExecutor,
+    WorkerConfig,
+    apply_worker_config,
+    capture_worker_config,
+)
+from repro.parallel.worker import probe_configuration
+from repro.relations import tuples
+from repro.relations.storage import resolve_storage_kind
+
+
+def test_capture_reflects_programmatic_state(monkeypatch):
+    monkeypatch.setenv("REPRO_STORAGE", "columnar")
+    monkeypatch.setattr(tuples, "_DEBUG_TUPLES", True)
+    config = capture_worker_config()
+    assert config.storage_kind == "columnar"
+    assert config.debug_tuples is True
+    assert config.trace_target is None  # tracing off in the test session
+
+
+def test_apply_sets_module_and_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_STORAGE", "row")
+    monkeypatch.setattr(tuples, "_DEBUG_TUPLES", False)
+    apply_worker_config(
+        WorkerConfig(storage_kind="columnar", debug_tuples=True, trace_target=None)
+    )
+    try:
+        assert resolve_storage_kind(None) == "columnar"
+        assert tuples._DEBUG_TUPLES is True
+    finally:
+        monkeypatch.setenv("REPRO_STORAGE", "row")
+        monkeypatch.setattr(tuples, "_DEBUG_TUPLES", False)
+
+
+@pytest.mark.parametrize("start_method", ["spawn"])
+def test_spawned_pool_agrees_with_parent(monkeypatch, start_method):
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} unavailable on this platform")
+    # Programmatic parent state: the environment says nothing about debug
+    # tuples, and the storage default is set post-import.
+    monkeypatch.setenv("REPRO_STORAGE", "columnar")
+    monkeypatch.delenv("REPRO_DEBUG_TUPLES", raising=False)
+    monkeypatch.setattr(tuples, "_DEBUG_TUPLES", True)
+    parent = (resolve_storage_kind(None), tuples._DEBUG_TUPLES)
+    with ParallelExecutor(2, start_method=start_method) as executor:
+        probes = executor.run_tasks(probe_configuration, [(), ()])
+    assert len(probes) == 2
+    for storage_kind, debug_tuples, _tracing in probes:
+        assert (storage_kind, debug_tuples) == parent
+
+
+def test_resolve_execution_storage_agreement_through_pool(monkeypatch):
+    """The satellite contract: ``resolve_execution_storage`` pins across the pool.
+
+    The engine resolves explicit > environment > database; workers receive
+    the parent's *resolved* kind both in the worker config and in every
+    broadcast engine payload, so a worker can never disagree -- asserted
+    here through the config probe with the parent configured purely
+    programmatically.
+    """
+    monkeypatch.setenv("REPRO_STORAGE", "columnar")
+    with ParallelExecutor(1, start_method="fork") as executor:
+        (storage_kind, _, _), = executor.run_tasks(probe_configuration, [()])
+    assert storage_kind == resolve_storage_kind(None) == "columnar"

@@ -1,0 +1,176 @@
+"""The worker entry points, called in-process.
+
+``repro.parallel.worker`` promises that its task functions are ordinary
+functions of their payloads -- the pool calls them from worker processes,
+and these tests call them directly in the parent, so their behaviour is
+pinned where coverage tooling can see it (subprocess execution is invisible
+to the coverage run).  Each test builds the exact payloads the coordinators
+ship and checks the worker's return value against the serial engine's
+answer for the same slice of work.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.algebra import Q
+from repro.datalog.seminaive import _SemiNaiveEngine
+from repro.engine.kernels import combine_contributions
+from repro.parallel import worker as worker_mod
+from repro.parallel.config import capture_worker_config
+from repro.parallel.merge import merge_relations
+from repro.parallel.worker import (
+    probe_configuration,
+    run_datalog_tasks,
+    run_query_task,
+)
+from repro.relations.krelation import KRelation
+from repro.semirings import NaturalsSemiring
+from repro.workloads import (
+    chain_graph_database,
+    random_graph_database,
+    transitive_closure_program,
+)
+
+
+def _clear_broadcast_cache():
+    worker_mod._BROADCAST.clear()
+
+
+def _two_hop_query():
+    return (
+        Q.relation("R")
+        .rename({"y": "mid"})
+        .join(Q.relation("S").rename({"x": "mid"}))
+        .project("x", "y")
+    )
+
+
+def test_run_query_task_partials_merge_to_serial_result():
+    _clear_broadcast_cache()
+    semiring = NaturalsSemiring()
+    database = random_graph_database(semiring, nodes=10, seed=3)
+    database.register(
+        "S", random_graph_database(semiring, nodes=8, seed=4).relation("R")
+    )
+    query = _two_hop_query()
+    serial = query.evaluate(database)
+
+    driver = database.relation("R")
+    rest = {"S": database.relation("S")}
+    blob = pickle.dumps((query, semiring, "R", rest, "row"))
+    items = list(driver.items())
+    partials = []
+    for chunk in (items[0::2], items[1::2]):
+        partition = KRelation(semiring, driver.schema, storage=driver.storage)
+        partition.merge_delta(chunk)
+        partials.append(
+            run_query_task("tok-query", blob, pickle.dumps(partition))
+        )
+    merged = merge_relations(partials, partials[0])
+    assert merged.equal_to(serial)
+
+
+def test_run_datalog_tasks_matches_local_fire():
+    _clear_broadcast_cache()
+    semiring = NaturalsSemiring()
+    database = chain_graph_database(semiring, length=8, seed=5)
+    program = transitive_closure_program(linear=True)
+    blob = pickle.dumps((program, database, False, "row"))
+
+    # Reference: the parent's own engine runs the seed round serially.
+    reference = _SemiNaiveEngine(
+        program, database, collect=False, maintain_edb=False, storage="row"
+    )
+    out = reference._fresh()
+    for plan in reference.seed_plans:
+        reference._fire(plan, reference.stores[plan.driver.predicate].rows, out)
+    expected_seed = {
+        predicate: {
+            values: [combine_contributions(semiring, batch)]
+            for values, batch in emit.items()
+        }
+        for predicate, emit in out.items()
+        if emit
+    }
+    delta = reference._merge(out)
+
+    # Worker, seed task over all driver rows, split into two index ranges:
+    # folding the two emits must reproduce the serial seed contributions.
+    rows = reference.stores[reference.seed_plans[0].driver.predicate].rows
+    halves = [list(range(0, len(rows), 2)), list(range(1, len(rows), 2))]
+    folded: dict = {}
+    for indexes in halves:
+        emitted = run_datalog_tasks(
+            "tok-datalog", blob, [("seed", 0, indexes)]
+        )
+        for predicate, emit in emitted.items():
+            destination = folded.setdefault(predicate, {})
+            for head, batch in emit.items():
+                destination.setdefault(head, []).extend(batch)
+    assert set(folded) == set(expected_seed)
+    for predicate, emit in expected_seed.items():
+        assert set(folded[predicate]) == set(emit)
+        for head, batch in emit.items():
+            assert combine_contributions(
+                semiring, folded[predicate][head]
+            ) == combine_contributions(semiring, batch)
+
+    # Worker, delta task: shipped rows + aligned annotations, checked against
+    # the reference engine firing the same plan with ``driver_annotations``.
+    predicate = "Q"
+    delta_rows = delta[predicate]
+    stored = reference.stores[predicate].relation._annotations
+    annotations = [stored[row[1]] for row in delta_rows]
+    emitted = run_datalog_tasks(
+        "tok-datalog",
+        blob,
+        [("delta", predicate, 0, delta_rows, annotations)],
+    )
+    out = reference._fresh()
+    reference._fire(
+        reference.delta_plans[predicate][0],
+        delta_rows,
+        out,
+        driver_annotations=dict(zip([row[1] for row in delta_rows], annotations)),
+    )
+    expected_delta = {
+        pred: {
+            values: combine_contributions(semiring, batch)
+            for values, batch in emit.items()
+        }
+        for pred, emit in out.items()
+        if emit
+    }
+    assert {
+        pred: {values: batch[0] for values, batch in emit.items()}
+        for pred, emit in emitted.items()
+    } == expected_delta
+
+
+def test_broadcast_cache_reuses_and_evicts():
+    _clear_broadcast_cache()
+    semiring = NaturalsSemiring()
+    database = chain_graph_database(semiring, length=4, seed=7)
+    program = transitive_closure_program(linear=True)
+    blob = pickle.dumps((program, database, False, "row"))
+    first = run_datalog_tasks("tok-a", blob, [("seed", 0, [0])])
+    again = run_datalog_tasks("tok-a", blob, [("seed", 0, [0])])
+    assert first == again
+    assert list(worker_mod._BROADCAST) == ["tok-a"]
+    for index in range(worker_mod._BROADCAST_LIMIT + 1):
+        run_datalog_tasks(f"tok-extra-{index}", blob, [("seed", 0, [0])])
+    assert len(worker_mod._BROADCAST) == worker_mod._BROADCAST_LIMIT
+    assert "tok-a" not in worker_mod._BROADCAST  # least recently used, evicted
+
+
+def test_probe_and_initialize_agree_with_parent_config():
+    from repro.parallel.config import apply_worker_config
+    from repro.relations.storage import resolve_storage_kind
+
+    config = capture_worker_config()
+    apply_worker_config(config)  # replaying the parent's config is a no-op
+    storage_kind, debug_tuples, tracing = probe_configuration()
+    assert storage_kind == resolve_storage_kind(None)
+    assert isinstance(debug_tuples, bool)
+    assert isinstance(tracing, bool)
