@@ -10,32 +10,60 @@ memoized pass per valuation instead of monomial-by-monomial re-evaluation.
 * :mod:`repro.circuits.semiring` -- :class:`CircuitSemiring`, a drop-in
   annotation semiring for K-relations and the datalog engine;
 * :mod:`repro.circuits.evaluate` -- the memoized ``Eval_v`` pass,
-  polynomial converters, and :func:`specialize` (one query, many
-  semirings).
+  polynomial converters, :func:`specialize` (one query, many semirings),
+  and the linear inference passes (``wmc`` / ``map_model`` /
+  ``top_k_models``) over compiled circuits;
+* :mod:`repro.circuits.knowledge` -- the structural property layer of the
+  knowledge-compilation map (decomposability, determinism, smoothness);
+* :mod:`repro.circuits.compile` -- Shannon-expansion compilation of any
+  provenance circuit or PosBool condition into an ordered decision diagram,
+  the engine behind ``method="compile"`` probabilistic inference.
 """
 
+from repro.circuits.compile import (
+    CircuitCompiler,
+    CompiledCircuit,
+    choose_variable_order,
+    compile_circuit,
+)
 from repro.circuits.evaluate import (
     CircuitEvaluator,
     circuit_evaluation,
     eval_circuit,
     from_polynomial,
+    map_model,
     restrict_vars,
     specialize,
     to_polynomial,
+    top_k_models,
+    wmc,
+)
+from repro.circuits.knowledge import (
+    check_ddnnf,
+    classify,
+    is_decomposable,
+    is_deterministic,
+    is_smooth,
+    smooth,
+    to_nnf,
 )
 from repro.circuits.nodes import (
     ONE,
     ZERO,
     Const,
+    Decision,
     Node,
+    Not,
     Prod,
     Sum,
     Var,
     circuit_depth,
     circuit_variables,
     const,
+    decision_node,
     iter_nodes,
     node_count,
+    not_node,
     prod_node,
     render,
     sum_node,
@@ -49,12 +77,16 @@ __all__ = [
     "Const",
     "Sum",
     "Prod",
+    "Not",
+    "Decision",
     "ZERO",
     "ONE",
     "var",
     "const",
     "sum_node",
     "prod_node",
+    "not_node",
+    "decision_node",
     "iter_nodes",
     "node_count",
     "circuit_depth",
@@ -68,4 +100,18 @@ __all__ = [
     "from_polynomial",
     "specialize",
     "restrict_vars",
+    "wmc",
+    "map_model",
+    "top_k_models",
+    "is_decomposable",
+    "is_deterministic",
+    "is_smooth",
+    "classify",
+    "check_ddnnf",
+    "smooth",
+    "to_nnf",
+    "CircuitCompiler",
+    "CompiledCircuit",
+    "compile_circuit",
+    "choose_variable_order",
 ]

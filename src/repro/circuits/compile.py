@@ -1,0 +1,494 @@
+"""Knowledge compilation: provenance circuits -> ordered decision diagrams.
+
+This is the bridge from provenance to *tractable* exact probabilistic
+inference (the Jha-Suciu route): the lineage of an answer tuple -- an
+``N[X]``/``Circ[X]`` circuit or a ``PosBool(X)`` condition over the
+tuple-independent base facts -- is compiled by **Shannon expansion**
+
+    f  =  x · f[x := 1]  +  ¬x · f[x := 0]
+
+into a DAG of :class:`~repro.circuits.nodes.Decision` gates.  The result is
+deterministic and decomposable *by construction* (each gate branches on
+complementary literals of one variable and conditions that variable out of
+both branches), i.e. a d-DNNF/OBDD-style form in the Darwiche-Marquis
+knowledge-compilation map, on which weighted model counting, top-k model
+enumeration and MAP are single linear passes
+(:func:`repro.circuits.evaluate.wmc` and friends).
+
+Three kinds of sharing keep compilation polynomial whenever a small diagram
+exists:
+
+* restricted circuits are built through the hash-consing factories, so
+  syntactically equal cofactors are *identical* nodes;
+* the compiler memoizes compiled results per restricted circuit
+  (``self`` -- the compile cache), so equal cofactors compile once, which is
+  exactly the OBDD node-merging rule;
+* one :class:`CircuitCompiler` can be shared across all the annotations of a
+  relation (as the probabilistic layer does), extending both caches across
+  answer tuples whose lineages overlap.
+
+The branching order is chosen by a small cost model
+(:func:`choose_variable_order`): the default ``"dfs"`` model orders
+variables by first touch in a depth-first walk of the circuit, keeping
+co-occurring variables adjacent -- the right shape for the join/fixpoint
+lineages this system produces (series-parallel-ish), where locality bounds
+the live frontier of the expansion.  The ``"frequency"`` model (most shared
+variables first) is available for comparison, and an explicit order always
+wins.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+from repro.circuits.knowledge import check_ddnnf, smooth
+from repro.circuits.nodes import (
+    ONE,
+    ZERO,
+    Const,
+    Decision,
+    Node,
+    Not,
+    Prod,
+    Sum,
+    Var,
+    decision_node,
+    iter_nodes,
+    node_count,
+    prod_node,
+    sum_node,
+    var,
+)
+from repro.errors import SemiringError
+from repro.obs.metrics import compilation as _compile_stats
+from repro.obs.trace import span
+from repro.semirings.posbool import BoolExpr
+
+__all__ = [
+    "choose_variable_order",
+    "CircuitCompiler",
+    "CompiledCircuit",
+    "compile_circuit",
+    "clear_compile_cache",
+]
+
+ORDER_MODELS = ("dfs", "frequency")
+
+
+def as_circuit(value: Any) -> Node:
+    """Read ``value`` as a circuit: a node, a PosBool condition, or anything
+    :class:`~repro.circuits.semiring.CircuitSemiring` can coerce (polynomials,
+    monomials, variable names, ints)."""
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, BoolExpr):
+        return sum_node(
+            *(prod_node(*(var(name) for name in sorted(clause))) for clause in value.clauses)
+        ) if not value.is_true else ONE
+    from repro.circuits.semiring import CircuitSemiring
+
+    return CircuitSemiring().coerce(value)
+
+
+def _dfs_first_touch(roots: Sequence[Node]) -> Dict[str, int]:
+    """First-touch index of every variable in a deterministic DFS walk."""
+    order: Dict[str, int] = {}
+    seen: set[int] = set()
+    stack: List[Node] = list(reversed(roots))
+    while stack:
+        node = stack.pop()
+        if node._id in seen:
+            continue
+        seen.add(node._id)
+        if isinstance(node, Var):
+            order.setdefault(node.name, len(order))
+        elif isinstance(node, Not):
+            order.setdefault(node.child.name, len(order))
+            stack.append(node.child)
+        elif isinstance(node, Decision):
+            order.setdefault(node.name, len(order))
+            stack.append(node.lo)
+            stack.append(node.hi)
+        elif isinstance(node, (Sum, Prod)):
+            stack.extend(reversed(node.children))
+    return order
+
+
+def choose_variable_order(*roots: Node, model: str = "dfs") -> Tuple[str, ...]:
+    """Pick a branching order for Shannon expansion over ``roots``.
+
+    ``model="dfs"`` (default): variables in order of first touch during a
+    depth-first walk -- a locality heuristic that keeps variables which are
+    multiplied together adjacent in the order, bounding the number of
+    simultaneously "live" cofactors (the decision-diagram width).
+
+    ``model="frequency"``: variables by descending reference count (gates
+    pointing at the leaf), the classic most-constrained-first rule;
+    first-touch order breaks ties so the result stays deterministic.
+    """
+    if model not in ORDER_MODELS:
+        raise SemiringError(f"unknown order model {model!r} (have {ORDER_MODELS})")
+    touch = _dfs_first_touch(roots)
+    if model == "dfs":
+        return tuple(sorted(touch, key=touch.__getitem__))
+    counts: Dict[str, int] = {name: 0 for name in touch}
+    for node in iter_nodes(*roots):
+        if isinstance(node, (Sum, Prod)):
+            for child in node.children:
+                if isinstance(child, Var):
+                    counts[child.name] += 1
+                elif isinstance(child, Not):
+                    counts[child.child.name] += 1
+        elif isinstance(node, Decision):
+            counts[node.name] += 1
+    return tuple(sorted(counts, key=lambda name: (-counts[name], touch[name])))
+
+
+@dataclass(frozen=True)
+class CompiledCircuit:
+    """A circuit in compiled (ordered-decision-diagram) form.
+
+    ``root`` contains only :class:`Decision` gates over ``order`` and the
+    constant leaves, denotes the same Boolean function as ``source`` under
+    the Boolean abstraction (a world satisfies an ``N``-circuit iff it
+    evaluates to non-zero), and is structurally deterministic and
+    decomposable -- the inference passes below are exact single passes.
+    """
+
+    source: Node
+    root: Node
+    order: Tuple[str, ...]
+    stats: Mapping[str, Any] = field(compare=False, default_factory=dict)
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """The variables the compiled function may depend on."""
+        return frozenset(self.order)
+
+    @property
+    def size(self) -> int:
+        """Distinct DAG nodes of the compiled form."""
+        return node_count(self.root)
+
+    def wmc(self, weights: Mapping[str, float]) -> float:
+        """Weighted model count: ``P(source is true)`` under independent
+        ``weights`` (variable -> marginal probability)."""
+        from repro.circuits.evaluate import wmc
+
+        return wmc(self.root, weights)
+
+    def map_model(
+        self, weights: Mapping[str, float]
+    ) -> Tuple[float, Dict[str, bool]] | None:
+        """The most probable satisfying assignment (or ``None`` if unsatisfiable)."""
+        from repro.circuits.evaluate import map_model
+
+        return map_model(self.root, weights, order=self.order)
+
+    def top_k(
+        self, weights: Mapping[str, float], k: int
+    ) -> List[Tuple[float, Dict[str, bool]]]:
+        """The ``k`` most probable satisfying assignments, most probable first."""
+        from repro.circuits.evaluate import top_k_models
+
+        return top_k_models(self.root, weights, k, order=self.order)
+
+    def evaluate(self, target, valuation: Mapping[str, Any], *, complement=None) -> Any:
+        """Evaluate the compiled form in a semiring (negation via ``complement``).
+
+        For a semiring with complements -- e.g. the event semiring
+        ``P(Omega)`` -- this reads the compiled diagram back as an event,
+        which is how the differential tests check compilation against the
+        enumeration oracle.
+        """
+        from repro.circuits.evaluate import CircuitEvaluator
+
+        return CircuitEvaluator(target, valuation, complement=complement)(self.root)
+
+    def smoothed(self) -> "CompiledCircuit":
+        """The smooth form: every path decides every variable of ``order``."""
+        return CompiledCircuit(
+            source=self.source,
+            root=smooth(self.root, self.order),
+            order=self.order,
+            stats=dict(self.stats),
+        )
+
+
+class CircuitCompiler:
+    """Shannon-expansion compiler with persistent caches.
+
+    One compiler instance should be reused for every annotation of a
+    relation: the compile cache (restricted circuit -> compiled node), the
+    conditioning cache and the support table are all keyed by interned node
+    identity, so lineages that share subcircuits share compilation work --
+    the same argument that makes :class:`CircuitEvaluator` relation-level.
+
+    ``order`` fixes the global branching order (an OBDD-style total order);
+    when omitted, the first :meth:`compile` call chooses one from its root
+    via the ``model`` cost model and later calls extend it on demand with
+    variables they see that the order does not yet contain.
+    """
+
+    def __init__(
+        self, *, order: Sequence[str] | None = None, model: str = "dfs"
+    ):
+        if model not in ORDER_MODELS:
+            raise SemiringError(f"unknown order model {model!r} (have {ORDER_MODELS})")
+        self.model = model
+        self._order: List[str] = list(order) if order is not None else []
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(self._order)}
+        if len(self._index) != len(self._order):
+            raise SemiringError("variable order contains duplicates")
+        self._explicit_order = order is not None
+        self._compiled: Dict[int, Node] = {}
+        self._cond: Dict[Tuple[int, str, int], Node] = {}
+        self._supports: Dict[int, FrozenSet[str]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def order(self) -> Tuple[str, ...]:
+        """The (possibly extended) global branching order."""
+        return tuple(self._order)
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _ensure_ordered(self, root: Node) -> None:
+        """Extend the global order with any new variables of ``root``."""
+        support = self._support(root)
+        missing = [name for name in support if name not in self._index]
+        if not missing:
+            return
+        if self._explicit_order:
+            raise SemiringError(
+                f"circuit mentions variables outside the fixed order: {sorted(missing)}"
+            )
+        for name, _ in sorted(
+            _dfs_first_touch((root,)).items(), key=lambda item: item[1]
+        ) if self.model == "dfs" else [
+            (name, 0) for name in choose_variable_order(root, model=self.model)
+        ]:
+            if name not in self._index:
+                self._index[name] = len(self._order)
+                self._order.append(name)
+
+    def _support(self, node: Node) -> FrozenSet[str]:
+        """The variable support of ``node`` (cached across the compiler)."""
+        supports = self._supports
+        cached = supports.get(node._id)
+        if cached is not None:
+            return cached
+        for current in iter_nodes(node):
+            if current._id in supports:
+                continue
+            if isinstance(current, Var):
+                supports[current._id] = frozenset((current.name,))
+            elif isinstance(current, Const):
+                supports[current._id] = frozenset()
+            elif isinstance(current, Not):
+                supports[current._id] = supports[current.child._id]
+            elif isinstance(current, Decision):
+                supports[current._id] = (
+                    supports[current.hi._id] | supports[current.lo._id] | {current.name}
+                )
+            else:
+                merged: FrozenSet[str] = frozenset()
+                for child in current.children:
+                    merged = merged | supports[child._id]
+                supports[current._id] = merged
+        return supports[node._id]
+
+    # -- conditioning --------------------------------------------------------
+    def _condition(self, root: Node, name: str, bit: int) -> Node:
+        """``root[name := bit]`` rebuilt through the simplifying factories.
+
+        Memoized persistently per ``(node, variable, bit)``; subcircuits
+        whose support does not mention ``name`` are returned as-is without
+        descending, which is what makes repeated cofactoring cheap on DAGs
+        with locality.
+        """
+        cache = self._cond
+        stack: List[Node] = [root]
+        while stack:
+            node = stack[-1]
+            key = (node._id, name, bit)
+            if key in cache:
+                stack.pop()
+                continue
+            if name not in self._support(node):
+                cache[key] = node
+                stack.pop()
+                continue
+            if isinstance(node, Var):
+                cache[key] = ONE if bit else ZERO
+                stack.pop()
+            elif isinstance(node, Not):
+                cache[key] = ZERO if bit else ONE
+                stack.pop()
+            elif isinstance(node, Decision):
+                if node.name == name:
+                    branch = node.hi if bit else node.lo
+                    branch_key = (branch._id, name, bit)
+                    if branch_key in cache:
+                        cache[key] = cache[branch_key]
+                        stack.pop()
+                    else:
+                        stack.append(branch)
+                else:
+                    hi_key = (node.hi._id, name, bit)
+                    lo_key = (node.lo._id, name, bit)
+                    if hi_key in cache and lo_key in cache:
+                        cache[key] = decision_node(
+                            node.name, cache[hi_key], cache[lo_key]
+                        )
+                        stack.pop()
+                    else:
+                        if lo_key not in cache:
+                            stack.append(node.lo)
+                        if hi_key not in cache:
+                            stack.append(node.hi)
+            else:  # Sum / Prod
+                child_keys = [(child._id, name, bit) for child in node.children]
+                missing = [
+                    child
+                    for child, child_key in zip(node.children, child_keys)
+                    if child_key not in cache
+                ]
+                if missing:
+                    stack.extend(reversed(missing))
+                else:
+                    parts = [cache[child_key] for child_key in child_keys]
+                    rebuild = sum_node if isinstance(node, Sum) else prod_node
+                    cache[key] = rebuild(*parts)
+                    stack.pop()
+        return cache[(root._id, name, bit)]
+
+    # -- the expansion -------------------------------------------------------
+    def _branch_variable(self, support: FrozenSet[str]) -> str:
+        index = self._index
+        return min(support, key=index.__getitem__)
+
+    def _lookup(self, node: Node) -> Node | None:
+        compiled = self._compiled.get(node._id)
+        if compiled is not None:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        return compiled
+
+    def _compile_node(self, root: Node) -> Node:
+        compiled = self._compiled
+        done = self._lookup(root)
+        if done is not None:
+            return done
+        stack: List[Node] = [root]
+        while stack:
+            node = stack[-1]
+            if node._id in compiled:
+                stack.pop()
+                continue
+            if isinstance(node, Const):
+                compiled[node._id] = ZERO if node.value == 0 else ONE
+                stack.pop()
+                continue
+            name = self._branch_variable(self._support(node))
+            hi = self._condition(node, name, 1)
+            lo = self._condition(node, name, 0)
+            hi_done = self._lookup(hi)
+            lo_done = self._lookup(lo)
+            if hi_done is not None and lo_done is not None:
+                compiled[node._id] = decision_node(name, hi_done, lo_done)
+                stack.pop()
+            else:
+                if lo_done is None:
+                    stack.append(lo)
+                if hi_done is None:
+                    stack.append(hi)
+        return compiled[root._id]
+
+    def compile(self, value: Any) -> CompiledCircuit:
+        """Compile a circuit / PosBool condition / polynomial to decision form.
+
+        Emits a ``circuit.compile`` span and updates the process-wide
+        :data:`repro.obs.metrics.compilation` counters, so compilation cost
+        shows up next to planning and execution in traces and
+        ``explain(analyze=True)`` reports.
+        """
+        root = as_circuit(value)
+        with span("circuit.compile", model=self.model) as sp:
+            hits_before, misses_before = self.cache_hits, self.cache_misses
+            self._ensure_ordered(root)
+            compiled = self._compile_node(root)
+            support = self._support(root)
+            order = tuple(
+                name for name in self._order if name in support
+            )
+            input_nodes = node_count(root)
+            output_nodes = node_count(compiled)
+            hits = self.cache_hits - hits_before
+            misses = self.cache_misses - misses_before
+            stats = {
+                "input_nodes": input_nodes,
+                "output_nodes": output_nodes,
+                "variables": len(order),
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "model": self.model,
+            }
+            _compile_stats.compiles += 1
+            _compile_stats.cache_hits += hits
+            _compile_stats.cache_misses += misses
+            _compile_stats.input_nodes += input_nodes
+            _compile_stats.output_nodes += output_nodes
+            sp.set(
+                input_nodes=input_nodes,
+                output_nodes=output_nodes,
+                variables=len(order),
+                cache_hits=hits,
+                cache_misses=misses,
+            )
+            return CompiledCircuit(source=root, root=compiled, order=order, stats=stats)
+
+
+#: Module-level compile cache: one entry per (source root, order spec), LRU.
+_CACHE: "OrderedDict[tuple, CompiledCircuit]" = OrderedDict()
+_CACHE_LIMIT = 512
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compilation (tests and memory-sensitive callers)."""
+    _CACHE.clear()
+
+
+def compile_circuit(
+    value: Any,
+    *,
+    order: Sequence[str] | None = None,
+    model: str = "dfs",
+    check: bool = False,
+) -> CompiledCircuit:
+    """Compile one circuit, with a process-wide compile cache.
+
+    Repeated compilation of the same (hash-consed) circuit under the same
+    order specification returns the cached :class:`CompiledCircuit`.  For
+    compiling *many related* circuits -- all the annotations of an answer
+    relation -- build one :class:`CircuitCompiler` instead, so intermediate
+    cofactors are shared too.  ``check=True`` re-verifies determinism and
+    decomposability structurally on the output (they hold by construction;
+    the check is a linear-pass audit used by the tests).
+    """
+    root = as_circuit(value)
+    key = (root._id, tuple(order) if order is not None else None, model)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        _CACHE.move_to_end(key)
+        return cached
+    compiled = CircuitCompiler(order=order, model=model).compile(root)
+    if check:
+        check_ddnnf(compiled.root)
+    _CACHE[key] = compiled
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+    return compiled

@@ -18,11 +18,14 @@ Theorem 4.3 operationalized on the compact representation.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Tuple
+import heapq
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
 from repro.circuits.nodes import (
     Const,
+    Decision,
     Node,
+    Not,
     Prod,
     Sum,
     Var,
@@ -46,6 +49,9 @@ __all__ = [
     "from_polynomial",
     "specialize",
     "restrict_vars",
+    "wmc",
+    "map_model",
+    "top_k_models",
 ]
 
 
@@ -56,12 +62,39 @@ class CircuitEvaluator:
     relation (as :func:`specialize` does): the memo is keyed by interned
     node, so subcircuits shared *between* annotations are also evaluated
     only once.
+
+    Semirings have no subtraction, so ``Not``/``Decision`` gates (which only
+    compiled circuits contain) need an explicit ``complement`` callable --
+    e.g. set complement for the event semiring ``P(Omega)``.  Without one,
+    evaluating a compiled circuit raises: the plain positive fragment never
+    produces those gates.
     """
 
-    def __init__(self, target: Semiring, valuation: Mapping[str, Any]):
+    def __init__(
+        self,
+        target: Semiring,
+        valuation: Mapping[str, Any],
+        *,
+        complement: Callable[[Any], Any] | None = None,
+    ):
         self.target = target
         self.valuation = {name: target.coerce(value) for name, value in valuation.items()}
+        self.complement = complement
         self._memo: Dict[int, Any] = {}
+
+    def _lookup(self, name: str) -> Any:
+        try:
+            return self.valuation[name]
+        except KeyError:
+            raise SemiringError(f"valuation is missing variable {name!r}") from None
+
+    def _complemented(self, name: str) -> Any:
+        if self.complement is None:
+            raise SemiringError(
+                "evaluating a compiled circuit (with negation) needs a "
+                "complement= callable; plain semirings have no subtraction"
+            )
+        return self.complement(self._lookup(name))
 
     def __call__(self, node: Node) -> Any:
         memo = self._memo
@@ -73,14 +106,16 @@ class CircuitEvaluator:
             if current.node_id in memo:
                 continue
             if isinstance(current, Var):
-                try:
-                    value = self.valuation[current.name]
-                except KeyError:
-                    raise SemiringError(
-                        f"valuation is missing variable {current.name!r}"
-                    ) from None
+                value = self._lookup(current.name)
             elif isinstance(current, Const):
                 value = _const_in(target, current.value)
+            elif isinstance(current, Not):
+                value = self._complemented(current.child.name)
+            elif isinstance(current, Decision):
+                value = target.add(
+                    target.mul(self._lookup(current.name), memo[current.hi.node_id]),
+                    target.mul(self._complemented(current.name), memo[current.lo.node_id]),
+                )
             elif isinstance(current, Sum):
                 value = target.sum(memo[child.node_id] for child in current.children)
             else:
@@ -138,6 +173,11 @@ def to_polynomial(node: Node) -> Polynomial:
     """
     memo: Dict[int, Polynomial] = {}
     for current in iter_nodes(node):
+        if isinstance(current, (Not, Decision)):
+            raise SemiringError(
+                "compiled circuits (with negation/decision gates) have no N[X] "
+                "polynomial expansion; expand the source circuit instead"
+            )
         if isinstance(current, Var):
             value = Polynomial.var(current.name)
         elif isinstance(current, Const):
@@ -187,7 +227,7 @@ def restrict_vars(node: Node, zero_variables: "frozenset[str] | set[str]") -> No
     deletion: with deleted EDB facts tagged by fresh variables, this removes
     exactly the derivations they supported.
     """
-    from repro.circuits.nodes import ZERO
+    from repro.circuits.nodes import ONE, ZERO, decision_node
 
     memo: Dict[int, Node] = {}
     for current in iter_nodes(node):
@@ -195,6 +235,17 @@ def restrict_vars(node: Node, zero_variables: "frozenset[str] | set[str]") -> No
             value = ZERO if current.name in zero_variables else current
         elif isinstance(current, Const):
             value = current
+        elif isinstance(current, Not):
+            # On compiled circuits the same homomorphism applies: a zeroed
+            # variable is certainly-absent, so its negation is certainly true.
+            value = ONE if current.child.name in zero_variables else current
+        elif isinstance(current, Decision):
+            if current.name in zero_variables:
+                value = memo[current.lo.node_id]
+            else:
+                value = decision_node(
+                    current.name, memo[current.hi.node_id], memo[current.lo.node_id]
+                )
         elif isinstance(current, Sum):
             value = sum_node(*(memo[child.node_id] for child in current.children))
         else:
@@ -225,3 +276,264 @@ def specialize(
     raise SemiringError(
         f"specialize expects a circuit node or a circuit-annotated KRelation, got {value!r}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Inference passes on compiled circuits (repro.circuits.compile output).
+#
+# All three exploit the same structure: on a deterministic-decomposable
+# circuit, probability distributes over products (independent supports) and
+# adds over sums (disjoint models), so what is #P-hard on arbitrary lineage
+# becomes one bottom-up pass over the DAG.
+# ---------------------------------------------------------------------------
+
+
+def _weight(weights: Mapping[str, float], name: str) -> float:
+    try:
+        p = float(weights[name])
+    except KeyError:
+        raise SemiringError(f"weights are missing variable {name!r}") from None
+    if not 0.0 <= p <= 1.0:
+        raise SemiringError(f"weight of {name!r} must be a probability, got {p}")
+    return p
+
+
+def wmc(root: Node, weights: Mapping[str, float]) -> float:
+    """Weighted model counting: ``P(root true)`` in one linear pass.
+
+    ``weights`` maps each variable to its (independent) marginal
+    probability.  Exact when ``root`` is deterministic and decomposable --
+    the compiler's output is, by construction; for hand-built NNF use
+    :func:`repro.circuits.knowledge.check_ddnnf` first.  No smoothing is
+    needed: a decision gate that skips variables marginalizes them
+    implicitly because ``p + (1-p) = 1``.
+    """
+    memo: Dict[int, float] = {}
+    for current in iter_nodes(root):
+        if isinstance(current, Var):
+            value = _weight(weights, current.name)
+        elif isinstance(current, Const):
+            value = 0.0 if current.value == 0 else 1.0
+        elif isinstance(current, Not):
+            value = 1.0 - _weight(weights, current.child.name)
+        elif isinstance(current, Decision):
+            p = _weight(weights, current.name)
+            value = p * memo[current.hi.node_id] + (1.0 - p) * memo[current.lo.node_id]
+        elif isinstance(current, Sum):
+            value = 0.0
+            for child in current.children:
+                value += memo[child.node_id]
+        else:
+            value = 1.0
+            for child in current.children:
+                value *= memo[child.node_id]
+        memo[current.node_id] = value
+    return memo[root.node_id]
+
+
+def _decision_levels(root: Node, order: Sequence[str]) -> Dict[int, int]:
+    """Map each node of an *ordered* decision diagram to its order level.
+
+    A node's level is the index of the variable it decides (``len(order)``
+    for leaves); branches must decide strictly later variables, which is the
+    invariant the compiler guarantees for a fixed global order.
+    """
+    index = {name: i for i, name in enumerate(order)}
+    depth = len(order)
+    levels: Dict[int, int] = {}
+    for current in iter_nodes(root):
+        if isinstance(current, Const):
+            levels[current.node_id] = depth
+        elif isinstance(current, Decision):
+            try:
+                level = index[current.name]
+            except KeyError:
+                raise SemiringError(
+                    f"decision variable {current.name!r} not in the given order"
+                ) from None
+            for branch in (current.hi, current.lo):
+                if levels[branch.node_id] <= level:
+                    raise SemiringError(
+                        "map_model/top_k_models expect an *ordered* decision "
+                        "diagram (branches decide strictly later variables); "
+                        "got an out-of-order edge at "
+                        f"{current.name!r}"
+                    )
+            levels[current.node_id] = level
+        else:
+            raise SemiringError(
+                "map_model/top_k_models run on compiled circuits only "
+                f"(decision gates and constants); found {type(current).__name__}"
+            )
+    return levels
+
+
+def map_model(
+    root: Node, weights: Mapping[str, float], *, order: Sequence[str]
+) -> Tuple[float, Dict[str, bool]] | None:
+    """The most probable satisfying assignment of a compiled circuit.
+
+    Max-product over the decision diagram, with *gap accounting*: an edge
+    that skips order levels contributes ``max(p, 1-p)`` per skipped
+    variable (the free variables take their individually most likely value).
+    Returns ``(probability, assignment)`` over every variable of ``order``,
+    or ``None`` when the circuit is unsatisfiable.  Ties break toward
+    ``True``/the hi branch, deterministically.
+    """
+    levels = _decision_levels(root, order)
+    probs = [_weight(weights, name) for name in order]
+    maxes = [max(p, 1.0 - p) for p in probs]
+
+    def gap(a: int, b: int) -> float:
+        value = 1.0
+        for i in range(a, b):
+            value *= maxes[i]
+        return value
+
+    best: Dict[int, float] = {}
+    sat: Dict[int, bool] = {}
+    for current in iter_nodes(root):
+        if isinstance(current, Const):
+            best[current.node_id] = 0.0 if current.value == 0 else 1.0
+            sat[current.node_id] = current.value != 0
+        else:
+            level = levels[current.node_id]
+            p = probs[level]
+            hi_value = (
+                p
+                * gap(level + 1, levels[current.hi.node_id])
+                * best[current.hi.node_id]
+            )
+            lo_value = (
+                (1.0 - p)
+                * gap(level + 1, levels[current.lo.node_id])
+                * best[current.lo.node_id]
+            )
+            best[current.node_id] = max(hi_value, lo_value)
+            sat[current.node_id] = sat[current.hi.node_id] or sat[current.lo.node_id]
+    if not sat[root.node_id]:
+        return None
+    probability = gap(0, levels[root.node_id]) * best[root.node_id]
+
+    assignment: Dict[str, bool] = {}
+
+    def fill_gap(a: int, b: int) -> None:
+        for i in range(a, b):
+            assignment[order[i]] = probs[i] >= 0.5
+
+    fill_gap(0, levels[root.node_id])
+    node = root
+    while not isinstance(node, Const):
+        level = levels[node.node_id]
+        p = probs[level]
+        hi_value = p * gap(level + 1, levels[node.hi.node_id]) * best[node.hi.node_id]
+        lo_value = (
+            (1.0 - p) * gap(level + 1, levels[node.lo.node_id]) * best[node.lo.node_id]
+        )
+        # Pick the better branch, but never a provably unsatisfiable one --
+        # with 0/1 weights both values can be 0 while only one branch has
+        # models at all.
+        hi_ok = sat[node.hi.node_id]
+        lo_ok = sat[node.lo.node_id]
+        take_hi = hi_ok and (not lo_ok or hi_value >= lo_value)
+        assignment[order[level]] = take_hi
+        child = node.hi if take_hi else node.lo
+        fill_gap(level + 1, levels[child.node_id])
+        node = child
+    return probability, assignment
+
+
+def _top_completions(
+    segment: Sequence[int], probs: Sequence[float], k: int
+) -> List[Tuple[float, Tuple[bool, ...]]]:
+    """The ``k`` most probable assignments of independent variables.
+
+    ``segment`` holds order levels; each level is a free Bernoulli variable.
+    Classic best-first subset enumeration: start from the argmax assignment,
+    and explore "flip sets" ordered by the product of flip ratios
+    ``min(p,1-p)/max(p,1-p) <= 1``, each subset generated exactly once.
+    """
+    if not segment:
+        return [(1.0, ())]
+    baseline = tuple(probs[i] >= 0.5 for i in segment)
+    base = 1.0
+    for i in segment:
+        base *= max(probs[i], 1.0 - probs[i])
+    ratios = []
+    for i in segment:
+        hi, lo = max(probs[i], 1.0 - probs[i]), min(probs[i], 1.0 - probs[i])
+        ratios.append(lo / hi if hi > 0.0 else 0.0)
+    positions = sorted(range(len(segment)), key=lambda j: -ratios[j])
+    out: List[Tuple[float, Tuple[bool, ...]]] = []
+    heap: List[Tuple[float, int, Tuple[int, ...]]] = [(-base, -1, ())]
+    while heap and len(out) < k:
+        neg_prob, last, flips = heapq.heappop(heap)
+        values = list(baseline)
+        for j in flips:
+            pos = positions[j]
+            values[pos] = not values[pos]
+        out.append((-neg_prob, tuple(values)))
+        for j in range(last + 1, len(positions)):
+            heapq.heappush(heap, (neg_prob * ratios[positions[j]], j, flips + (j,)))
+    return out
+
+
+def top_k_models(
+    root: Node, weights: Mapping[str, float], k: int, *, order: Sequence[str]
+) -> List[Tuple[float, Dict[str, bool]]]:
+    """The ``k`` most probable satisfying assignments, most probable first.
+
+    Bottom-up over the ordered decision diagram: each node carries its top-k
+    suffix assignments (over the order levels at or below it); a decision
+    gate combines each branch's list with the branch probability and the
+    best-first completions of any skipped levels, merges, and truncates to
+    ``k``.  Determinism makes the two branch lists disjoint, so the merge
+    never double-counts a model.
+    """
+    if k <= 0:
+        return []
+    levels = _decision_levels(root, order)
+    probs = [_weight(weights, name) for name in order]
+
+    def lift(
+        models: List[Tuple[float, Tuple[bool, ...]]], from_level: int, to_level: int
+    ) -> List[Tuple[float, Tuple[bool, ...]]]:
+        """Extend suffix models at ``to_level`` down to ``from_level``."""
+        if from_level == to_level or not models:
+            return models
+        completions = _top_completions(range(from_level, to_level), probs, k)
+        combined = [
+            (cp * mp, cass + mass)
+            for cp, cass in completions
+            for mp, mass in models
+        ]
+        combined.sort(key=lambda entry: -entry[0])
+        return combined[:k]
+
+    memo: Dict[int, List[Tuple[float, Tuple[bool, ...]]]] = {}
+    for current in iter_nodes(root):
+        if isinstance(current, Const):
+            memo[current.node_id] = [] if current.value == 0 else [(1.0, ())]
+        else:
+            level = levels[current.node_id]
+            p = probs[level]
+            hi_models = [
+                (p * mp, (True,) + mass)
+                for mp, mass in lift(
+                    memo[current.hi.node_id], level + 1, levels[current.hi.node_id]
+                )
+            ]
+            lo_models = [
+                ((1.0 - p) * mp, (False,) + mass)
+                for mp, mass in lift(
+                    memo[current.lo.node_id], level + 1, levels[current.lo.node_id]
+                )
+            ]
+            merged = hi_models + lo_models
+            merged.sort(key=lambda entry: -entry[0])
+            memo[current.node_id] = merged[:k]
+    rooted = lift(memo[root.node_id], 0, levels[root.node_id])
+    return [
+        (probability, {order[i]: value for i, value in enumerate(assignment)})
+        for probability, assignment in rooted
+    ]

@@ -50,12 +50,16 @@ __all__ = [
     "Const",
     "Sum",
     "Prod",
+    "Not",
+    "Decision",
     "ZERO",
     "ONE",
     "var",
     "const",
     "sum_node",
     "prod_node",
+    "not_node",
+    "decision_node",
     "iter_nodes",
     "node_count",
     "circuit_depth",
@@ -147,6 +151,40 @@ class Prod(Node):
         return (_rebuild_circuit, (_circuit_spec(self),))
 
 
+class Not(Node):
+    """A negated literal ``¬x`` (child is always a :class:`Var`).
+
+    Negation enters the algebra only at the leaves (negation normal form):
+    the Boolean/probabilistic semantics of an interior ``¬`` gate would not
+    be expressible in the ``N``-valued provenance semiring, while negated
+    *literals* are exactly what the knowledge-compiled forms (d-DNNF, OBDD)
+    need to state "this derivation holds in the worlds where fact ``x`` is
+    absent".  Build through :func:`not_node`.
+    """
+
+    __slots__ = ("child",)
+
+    def __reduce__(self):
+        return (_rebuild_circuit, (_circuit_spec(self),))
+
+
+class Decision(Node):
+    """A Shannon decision gate ``ite(x, hi, lo)`` on variable ``name``.
+
+    Denotes ``x·hi + ¬x·lo``: the two branches are guarded by complementary
+    literals, so a decision gate is *deterministic* by construction, and the
+    compiler guarantees neither branch mentions ``name`` again, which makes
+    it *decomposable* -- the two properties that turn probability
+    computation into one linear pass (:func:`repro.circuits.evaluate.wmc`).
+    Build through :func:`decision_node`.
+    """
+
+    __slots__ = ("name", "hi", "lo")
+
+    def __reduce__(self):
+        return (_rebuild_circuit, (_circuit_spec(self),))
+
+
 def _circuit_spec(root: Node) -> List[tuple]:
     """Flatten ``root``'s DAG to a postorder list with child back-references.
 
@@ -162,6 +200,10 @@ def _circuit_spec(root: Node) -> List[tuple]:
             entry: tuple = ("v", node.name)
         elif isinstance(node, Const):
             entry = ("c", node.value)
+        elif isinstance(node, Not):
+            entry = ("n", position[node.child._id])
+        elif isinstance(node, Decision):
+            entry = ("d", (node.name, position[node.hi._id], position[node.lo._id]))
         else:
             kind = "s" if isinstance(node, Sum) else "p"
             entry = (kind, tuple(position[child._id] for child in node.children))
@@ -178,6 +220,11 @@ def _rebuild_circuit(spec: List[tuple]) -> Node:
             nodes.append(var(payload))
         elif kind == "c":
             nodes.append(const(payload))
+        elif kind == "n":
+            nodes.append(not_node(nodes[payload]))
+        elif kind == "d":
+            name, hi, lo = payload
+            nodes.append(decision_node(name, nodes[hi], nodes[lo], collapse=False))
         elif kind == "s":
             nodes.append(sum_node(*(nodes[i] for i in payload)))
         else:
@@ -308,6 +355,57 @@ def prod_node(*parts: Node) -> Node:
     return _intern(key, build)
 
 
+def not_node(part: Node) -> Node:
+    """The negated literal ``¬part`` (negation normal form: leaves only).
+
+    Applies ``¬¬x = x`` and constant complementation (``¬0 = 1``, ``¬c = 0``
+    for non-zero ``c`` under the Boolean abstraction).  Anything but a
+    variable, a constant or a negated literal is rejected: interior negation
+    has no ``N[X]`` semantics, and the compiled forms never need it.
+    """
+    if isinstance(part, Not):
+        return part.child
+    if isinstance(part, Const):
+        return ONE if part.value == 0 else ZERO
+    if not isinstance(part, Var):
+        raise InvalidAnnotationError(
+            f"negation is only defined on literals, not {part!r}"
+        )
+
+    def build() -> Not:
+        node = Not.__new__(Not)
+        object.__setattr__(node, "child", part)
+        return node
+
+    return _intern(("n", part._id), build)
+
+
+def decision_node(name: str, hi: Node, lo: Node, *, collapse: bool = True) -> Node:
+    """The Shannon gate ``ite(name, hi, lo)`` with BDD-style reduction.
+
+    ``collapse=True`` (the default) applies the reduction rule
+    ``ite(x, f, f) = f``, which is what keeps compiled decision diagrams
+    small; :func:`repro.circuits.knowledge.smooth` passes ``collapse=False``
+    to *keep* redundant tests, because smoothness is exactly the property
+    that every branch mentions the same variables.
+    """
+    if not isinstance(name, str) or not name:
+        raise InvalidAnnotationError(f"{name!r} is not a valid decision variable")
+    if not isinstance(hi, Node) or not isinstance(lo, Node):
+        raise InvalidAnnotationError("decision branches must be circuit nodes")
+    if collapse and hi is lo:
+        return hi
+
+    def build() -> Decision:
+        node = Decision.__new__(Decision)
+        object.__setattr__(node, "name", name)
+        object.__setattr__(node, "hi", hi)
+        object.__setattr__(node, "lo", lo)
+        return node
+
+    return _intern(("d", name, hi._id, lo._id), build)
+
+
 #: The canonical additive/multiplicative identities (kept strongly alive so
 #: identity checks like ``value is ZERO`` work for the process lifetime).
 ZERO: Const = const(0)
@@ -338,6 +436,11 @@ def iter_nodes(*roots: Node) -> Iterator[Node]:
         stack.append((node, True))
         if isinstance(node, (Sum, Prod)):
             stack.extend((child, False) for child in reversed(node.children))
+        elif isinstance(node, Not):
+            stack.append((node.child, False))
+        elif isinstance(node, Decision):
+            stack.append((node.lo, False))
+            stack.append((node.hi, False))
 
 
 def node_count(*roots: Node) -> int:
@@ -351,16 +454,28 @@ def circuit_depth(root: Node) -> int:
     for node in iter_nodes(root):
         if isinstance(node, (Sum, Prod)):
             depths[node._id] = 1 + max(depths[child._id] for child in node.children)
+        elif isinstance(node, Not):
+            depths[node._id] = 1 + depths[node.child._id]
+        elif isinstance(node, Decision):
+            depths[node._id] = 1 + max(depths[node.hi._id], depths[node.lo._id])
         else:
             depths[node._id] = 0
     return depths[root._id]
 
 
 def circuit_variables(*roots: Node) -> frozenset[str]:
-    """The provenance variables occurring in the circuits."""
-    return frozenset(
-        node.name for node in iter_nodes(*roots) if isinstance(node, Var)
-    )
+    """The provenance variables occurring in the circuits.
+
+    Decision variables count: a :class:`Decision` gate *reads* its variable
+    even though no :class:`Var` leaf for it need survive the compile.
+    """
+    names: set[str] = set()
+    for node in iter_nodes(*roots):
+        if isinstance(node, Var):
+            names.add(node.name)
+        elif isinstance(node, Decision):
+            names.add(node.name)
+    return frozenset(names)
 
 
 def render(root: Node) -> str:
@@ -376,6 +491,12 @@ def render(root: Node) -> str:
             rendered[node._id] = node.name
         elif isinstance(node, Const):
             rendered[node._id] = str(node.value)
+        elif isinstance(node, Not):
+            rendered[node._id] = f"¬{rendered[node.child._id]}"
+        elif isinstance(node, Decision):
+            rendered[node._id] = (
+                f"ite({node.name}, {rendered[node.hi._id]}, {rendered[node.lo._id]})"
+            )
         elif isinstance(node, Sum):
             rendered[node._id] = " + ".join(rendered[c._id] for c in node.children)
         else:

@@ -21,7 +21,7 @@ the ``Eval_v`` homomorphism (Theorem 6.4 restricted to lattices).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping
 
 from repro.errors import DatalogError
@@ -46,6 +46,7 @@ class LatticeDatalogResult:
     edb_ids: Dict[GroundAtom, str]
     conditions: Dict[GroundAtom, BoolExpr]
     program: Program
+    _compiled: Dict[GroundAtom, Any] | None = field(default=None, init=False, repr=False)
 
     def condition(self, atom: GroundAtom) -> BoolExpr:
         """The minimal-fringe condition of a derivable IDB atom."""
@@ -54,19 +55,80 @@ class LatticeDatalogResult:
         except KeyError:
             raise DatalogError(f"{atom} is not a derivable IDB atom") from None
 
-    def evaluate(self, lattice: Semiring, valuation: Mapping[str, Any]) -> Dict[GroundAtom, Any]:
+    def compile(self, *, compiler: Any = None) -> Dict[GroundAtom, Any]:
+        """Knowledge-compile every condition to an ordered decision diagram.
+
+        One :class:`~repro.circuits.compile.CircuitCompiler` (passed in or
+        created here) serves all atoms, so conditions that share clauses --
+        the normal case after a fixpoint -- share the compile cache and the
+        variable order.  Returns atom ->
+        :class:`~repro.circuits.compile.CompiledCircuit`.
+        """
+        from repro.circuits.compile import CircuitCompiler
+
+        if compiler is None:
+            if self._compiled is not None:
+                return self._compiled
+            compiler = CircuitCompiler()
+        compiled = {
+            atom: compiler.compile(cond) for atom, cond in self.conditions.items()
+        }
+        self._compiled = compiled
+        return compiled
+
+    def wmc(self, weights: Mapping[str, float]) -> Dict[GroundAtom, float]:
+        """Exact probability of every atom under independent tuple marginals.
+
+        Compiles each condition and weighted-model-counts it -- the
+        probabilistic-datalog reading of Section 8 without constructing any
+        world space.
+        """
+        return {
+            atom: compiled.wmc(weights) for atom, compiled in self.compile().items()
+        }
+
+    def evaluate(
+        self,
+        lattice: Semiring,
+        valuation: Mapping[str, Any],
+        *,
+        method: str = "expand",
+    ) -> Dict[GroundAtom, Any]:
         """Specialize every condition to a distributive lattice ``K``.
 
-        ``valuation`` maps tuple ids to lattice elements; each condition's
-        minimal monomials are mapped to meets and joined, which is exactly
-        evaluating the minimal-fringe polynomial of the paper's modified
-        All-Trees in ``K``.
+        ``valuation`` maps tuple ids to lattice elements; with the default
+        ``method="expand"`` each condition's minimal monomials are mapped to
+        meets and joined, which is exactly evaluating the minimal-fringe
+        polynomial of the paper's modified All-Trees in ``K``.
+
+        ``method="compile"`` routes through the knowledge compiler instead:
+        conditions are compiled once and the decision diagrams are evaluated
+        in ``K``.  This needs a ``complement`` operation on the lattice
+        (i.e. a Boolean algebra, like ``P(Omega)``); the two methods agree
+        because lattice evaluation is pointwise Boolean under the Birkhoff
+        representation.
         """
         if not lattice.is_distributive_lattice:
             raise DatalogError(
                 f"Section 8 evaluation needs a distributive lattice, got {lattice.name}"
             )
+        if method not in ("expand", "compile"):
+            raise DatalogError(f"unknown method {method!r} (use 'expand' or 'compile')")
         coerced = {k: lattice.coerce(v) for k, v in valuation.items()}
+        if method == "compile":
+            complement = getattr(lattice, "complement", None)
+            if complement is None:
+                raise DatalogError(
+                    f"method='compile' needs a complemented lattice; {lattice.name} "
+                    "has no complement operation"
+                )
+            from repro.circuits.evaluate import CircuitEvaluator
+
+            evaluator = CircuitEvaluator(lattice, coerced, complement=complement)
+            return {
+                atom: evaluator(compiled.root)
+                for atom, compiled in self.compile().items()
+            }
         results: Dict[GroundAtom, Any] = {}
         for atom, condition in self.conditions.items():
             value = lattice.zero()
@@ -85,15 +147,18 @@ def lattice_condition_provenance(
     *,
     edb_ids: Mapping[GroundAtom, str] | None = None,
     engine: str = "naive",
+    storage: str | None = None,
 ) -> LatticeDatalogResult:
     """Compute the PosBool(X) ("minimal fringe") provenance of a datalog query.
 
     The database may be annotated in any semiring; only the support matters
     here, since each EDB fact is re-tagged with its own Boolean variable.
-    ``engine`` selects the evaluation strategy of the underlying PosBool(X)
-    fixpoint (``"naive"`` or ``"seminaive"``, see
-    :func:`repro.datalog.fixpoint.evaluate_program`); the conditions are
-    identical either way.
+    (``edb_ids`` need not be injective: mapping two facts to one variable
+    declares them perfectly correlated, which is how the probabilistic layer
+    encodes shared events.)  ``engine`` selects the evaluation strategy of
+    the underlying PosBool(X) fixpoint (``"naive"`` or ``"seminaive"``, see
+    :func:`repro.datalog.fixpoint.evaluate_program`) and ``storage`` its
+    backend; the conditions are identical either way.
     """
     if isinstance(program, str):
         program = Program.parse(program)
@@ -112,7 +177,7 @@ def lattice_condition_provenance(
             relation.set(tup, BoolExpr.var(ids[atom]))
         tagged.register(predicate, relation)
 
-    result = evaluate_program(program, tagged, engine=engine)
+    result = evaluate_program(program, tagged, engine=engine, storage=storage)
     conditions = {
         atom: value
         for atom, value in result.annotations.items()
@@ -127,6 +192,8 @@ def evaluate_on_lattice(
     *,
     output_only: bool = True,
     engine: str = "naive",
+    method: str = "expand",
+    storage: str | None = None,
 ) -> KRelation:
     """Terminating datalog evaluation when the database's semiring is a lattice.
 
@@ -139,6 +206,10 @@ def evaluate_on_lattice(
 
     ``engine="seminaive"`` runs the underlying PosBool(X) fixpoint through
     the PR 2 delta-driven engine; the result is identical.
+    ``method="compile"`` specializes the conditions through the knowledge
+    compiler (requires a complemented lattice, e.g. ``P(Omega)``); again the
+    result is identical -- the probabilistic layer uses it for differential
+    checks.
     """
     if isinstance(program, str):
         program = Program.parse(program)
@@ -151,12 +222,12 @@ def evaluate_on_lattice(
     edb_annotations = collect_edb_annotations(program, database)
     ids = default_edb_ids(edb_annotations)
     provenance = lattice_condition_provenance(
-        program, database, edb_ids=ids, engine=engine
+        program, database, edb_ids=ids, engine=engine, storage=storage
     )
     valuation = {
         ids[atom]: annotation for atom, annotation in edb_annotations.items()
     }
-    values = provenance.evaluate(semiring, valuation)
+    values = provenance.evaluate(semiring, valuation, method=method)
 
     predicate = program.output
     arity = program.arity(predicate)

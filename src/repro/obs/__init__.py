@@ -6,8 +6,9 @@ This package is the measurement substrate for the whole reproduction:
   wall-clock timing, user attributes) with pluggable sinks and a no-op fast
   path that keeps the instrumented engine within the 5% tracing-off budget;
 * :mod:`repro.obs.sinks` -- in-memory, JSONL-file and stderr sinks;
-* :mod:`repro.obs.metrics` -- semiring-op counters (:class:`OpCounter`) and
-  circuit hash-consing statistics (:data:`consing`);
+* :mod:`repro.obs.metrics` -- semiring-op counters (:class:`OpCounter`),
+  circuit hash-consing statistics (:data:`consing`) and knowledge-compilation
+  counters (:data:`compilation`);
 * :mod:`repro.obs.semiring` -- :class:`InstrumentedSemiring`, an
   annotation-identical counting wrapper for any registry semiring;
 * :mod:`repro.obs.explain` -- ``explain_analyze``: execute the pipelined
@@ -20,7 +21,7 @@ the execution engine; everything exported here eagerly is stdlib-plus-base.
 
 from __future__ import annotations
 
-from repro.obs.metrics import ConsingStats, OpCounter, consing
+from repro.obs.metrics import CompileStats, ConsingStats, OpCounter, compilation, consing
 from repro.obs.semiring import InstrumentedSemiring, instrument
 from repro.obs.sinks import InMemorySink, JsonlSink, StderrSink
 from repro.obs.trace import (
@@ -44,8 +45,10 @@ from repro.obs.trace import _enable_from_environment
 _enable_from_environment()
 
 __all__ = [
+    "CompileStats",
     "ConsingStats",
     "OpCounter",
+    "compilation",
     "consing",
     "InstrumentedSemiring",
     "instrument",

@@ -30,7 +30,7 @@ import time
 from typing import Any, Callable, Dict, Iterator, List, Tuple
 
 from repro.obs import trace as _trace
-from repro.obs.metrics import OpCounter
+from repro.obs.metrics import OpCounter, compilation
 from repro.obs.semiring import InstrumentedSemiring
 
 __all__ = [
@@ -198,6 +198,12 @@ class ExplainAnalyzeReport:
     optimization:
         The planner's :class:`~repro.planner.optimizer.OptimizationReport`
         when the logical optimizer ran first, else ``None``.
+    compile_stats:
+        Knowledge-compilation counters accumulated during the observed run
+        (circuit compiles, decision-memo hit rate, input/output DAG sizes):
+        the cost of ``method="compile"`` probabilistic inference, first-class
+        next to the semiring-op counts.  All zero for runs that never
+        compile.
     """
 
     def __init__(
@@ -211,6 +217,7 @@ class ExplainAnalyzeReport:
         breaker_ops: Dict[str, int],
         wall: float,
         optimization: Any = None,
+        compile_stats: Dict[str, float] | None = None,
     ):
         self.query = query
         self.plan = plan
@@ -221,6 +228,14 @@ class ExplainAnalyzeReport:
         self.breaker_ops = breaker_ops
         self.wall = wall
         self.optimization = optimization
+        self.compile_stats = compile_stats or {
+            "compiles": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "input_nodes": 0,
+            "output_nodes": 0,
+            "hit_rate": 0.0,
+        }
 
     # -- structured access -------------------------------------------------------
     def nodes(self) -> List[Tuple[Any, NodeStats, int]]:
@@ -288,6 +303,15 @@ class ExplainAnalyzeReport:
             f"is_zero={self.breaker_ops['is_zero']}",
         ]
         lines.append("breaker: " + " ".join(breaker))
+        if self.compile_stats.get("compiles"):
+            cs = self.compile_stats
+            lines.append(
+                "compile: "
+                f"compiles={int(cs['compiles'])} "
+                f"nodes_in={int(cs['input_nodes'])} "
+                f"nodes_out={int(cs['output_nodes'])} "
+                f"cache_hit_rate={cs['hit_rate']:.3f}"
+            )
         totals = [
             f"plus={self.totals['plus']}",
             f"times={self.totals['times']}",
@@ -341,6 +365,7 @@ def explain_analyze(
     instrumented = InstrumentedSemiring(database.semiring, ops)
     observed = _ObservedDatabase(database, instrumented)
     observer = ExecutionObserver()
+    compile_before = compilation.snapshot()
 
     with _trace.span("explain.analyze", semiring=database.semiring.name):
         started = time.perf_counter()
@@ -373,4 +398,5 @@ def explain_analyze(
         breaker_ops=breaker_ops,
         wall=wall,
         optimization=optimization,
+        compile_stats=compilation.delta(compile_before),
     )

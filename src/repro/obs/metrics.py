@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-__all__ = ["OpCounter", "ConsingStats", "consing"]
+__all__ = ["OpCounter", "ConsingStats", "consing", "CompileStats", "compilation"]
 
 
 class OpCounter:
@@ -103,5 +103,66 @@ class ConsingStats:
         )
 
 
+class CompileStats:
+    """Counters for knowledge compilation (:mod:`repro.circuits.compile`).
+
+    Compilation is the potentially-exponential step of the inference stack,
+    so its cost is first-class: ``compiles`` counts :func:`compile_circuit`
+    calls, ``cache_hits``/``cache_misses`` count lookups in the
+    decision-node memo (a hit means a restricted subcircuit had already been
+    compiled -- the sharing that keeps the diagram polynomial when one
+    exists), ``input_nodes``/``output_nodes`` accumulate DAG sizes before
+    and after, so ``output_nodes / compiles`` is the mean compiled size.
+    Unlike the consing counters these are always on: compilation happens at
+    most once per distinct lineage, never inside per-tuple loops.
+    """
+
+    __slots__ = ("compiles", "cache_hits", "cache_misses", "input_nodes", "output_nodes")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.compiles = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.input_nodes = 0
+        self.output_nodes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of decision-memo lookups served from the cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "compiles": self.compiles,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "input_nodes": self.input_nodes,
+            "output_nodes": self.output_nodes,
+            "hit_rate": self.hit_rate,
+        }
+
+    def delta(self, earlier: Dict[str, float]) -> Dict[str, float]:
+        """Counts accumulated since an earlier :meth:`snapshot`."""
+        current = self.snapshot()
+        out = {key: current[key] - earlier[key] for key in current if key != "hit_rate"}
+        lookups = out["cache_hits"] + out["cache_misses"]
+        out["hit_rate"] = out["cache_hits"] / lookups if lookups else 0.0
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompileStats compiles={self.compiles} cache_hits={self.cache_hits} "
+            f"cache_misses={self.cache_misses} output_nodes={self.output_nodes}>"
+        )
+
+
 #: The process-wide hash-consing counters (see :mod:`repro.circuits.nodes`).
 consing = ConsingStats()
+
+#: The process-wide knowledge-compilation counters (see
+#: :mod:`repro.circuits.compile`).
+compilation = CompileStats()

@@ -129,6 +129,15 @@ class EventSemiring(Semiring):
         """``a* = Omega`` since the unit is the full space."""
         return self.space.worlds
 
+    def complement(self, a: frozenset) -> frozenset:
+        """``Omega \\ a`` -- ``P(Omega)`` is a Boolean algebra, not just a lattice.
+
+        This is what lets compiled circuits (which contain negation) be
+        evaluated into the event semiring: see
+        :class:`repro.circuits.evaluate.CircuitEvaluator`.
+        """
+        return self.space.worlds - self.coerce(a)
+
     def probability(self, value: frozenset) -> float:
         """Probability of an annotation under the space's world weights."""
         return self.space.probability(self.coerce(value))

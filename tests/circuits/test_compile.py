@@ -1,0 +1,216 @@
+"""Shannon compilation to ordered decision diagrams: correctness against
+brute-force enumeration, structural guarantees, caches, and the interaction
+with the PR 8 deletion homomorphism (vars -> 0)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    ONE,
+    ZERO,
+    CircuitCompiler,
+    Const,
+    Decision,
+    check_ddnnf,
+    choose_variable_order,
+    compile_circuit,
+    eval_circuit,
+    iter_nodes,
+    prod_node,
+    restrict_vars,
+    specialize,
+    sum_node,
+    var,
+    wmc,
+)
+from repro.circuits.compile import clear_compile_cache
+from repro.errors import SemiringError
+from repro.obs.metrics import compilation
+from repro.semirings.numeric import NaturalsSemiring
+from repro.semirings.posbool import BoolExpr
+
+NAMES = ("a", "b", "c", "d")
+NATURALS = NaturalsSemiring()
+
+
+@st.composite
+def circuits(draw, depth: int = 3):
+    """Small random N-circuits over a fixed four-variable pool."""
+    if depth == 0 or draw(st.integers(min_value=0, max_value=3)) == 0:
+        return var(draw(st.sampled_from(NAMES)))
+    op = sum_node if draw(st.booleans()) else prod_node
+    width = draw(st.integers(min_value=1, max_value=3))
+    return op(*(draw(circuits(depth=depth - 1)) for _ in range(width)))
+
+
+def truth(circuit, assignment):
+    """The Boolean abstraction: non-zero under a 0/1 valuation."""
+    valuation = {name: (1 if assignment.get(name) else 0) for name in NAMES}
+    return int(eval_circuit(circuit, valuation, NATURALS)) > 0
+
+
+def decide(root, assignment):
+    """Follow a decision diagram to its leaf under an assignment."""
+    node = root
+    while isinstance(node, Decision):
+        node = node.hi if assignment.get(node.name) else node.lo
+    assert isinstance(node, Const)
+    return node.value != 0
+
+
+def all_assignments(names):
+    for bits in itertools.product([False, True], repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+class TestCompilerCorrectness:
+    @settings(max_examples=60, deadline=None)
+    @given(circuits())
+    def test_compiled_function_equals_source(self, circuit):
+        compiled = compile_circuit(circuit, check=True)
+        for assignment in all_assignments(NAMES):
+            assert decide(compiled.root, assignment) == truth(circuit, assignment)
+
+    @settings(max_examples=40, deadline=None)
+    @given(circuits(), st.randoms(use_true_random=False))
+    def test_wmc_matches_enumeration(self, circuit, rng):
+        compiled = compile_circuit(circuit)
+        weights = {name: rng.random() for name in NAMES}
+        expected = 0.0
+        for assignment in all_assignments(compiled.order):
+            if decide(compiled.root, assignment):
+                p = 1.0
+                for name in compiled.order:
+                    p *= weights[name] if assignment[name] else 1 - weights[name]
+                expected += p
+        assert compiled.wmc(weights) == pytest.approx(expected, abs=1e-12)
+
+    def test_output_is_a_strictly_ordered_diagram(self):
+        circuit = sum_node(
+            prod_node(var("a"), var("b")),
+            prod_node(var("b"), var("c"), var("d")),
+        )
+        compiled = compile_circuit(circuit, check=True)
+        index = {name: i for i, name in enumerate(compiled.order)}
+        for node in iter_nodes(compiled.root):
+            assert isinstance(node, (Decision, Const))
+            if isinstance(node, Decision):
+                for branch in (node.hi, node.lo):
+                    if isinstance(branch, Decision):
+                        assert index[branch.name] > index[node.name]
+
+    def test_posbool_conditions_compile(self):
+        condition = (BoolExpr.var("a") & BoolExpr.var("b")) | BoolExpr.var("c")
+        compiled = compile_circuit(condition)
+        for assignment in all_assignments(("a", "b", "c")):
+            expected = (assignment["a"] and assignment["b"]) or assignment["c"]
+            assert decide(compiled.root, assignment) == expected
+
+    def test_constants_compile_to_leaves(self):
+        assert compile_circuit(ZERO).root is ZERO
+        assert compile_circuit(ONE).root is ONE
+        assert compile_circuit(sum_node(ONE, var("a"))).root is ONE
+
+
+class TestOrdersAndCaches:
+    def test_order_models(self):
+        circuit = prod_node(sum_node(var("a"), var("b")), var("c"))
+        dfs = choose_variable_order(circuit, model="dfs")
+        assert set(dfs) == {"a", "b", "c"}
+        # Deterministic: the same circuit always yields the same order.
+        assert choose_variable_order(circuit, model="dfs") == dfs
+        freq = choose_variable_order(circuit, model="frequency")
+        assert set(freq) == {"a", "b", "c"}
+        with pytest.raises(SemiringError):
+            choose_variable_order(circuit, model="mystery")
+
+    def test_explicit_order_is_respected(self):
+        circuit = sum_node(prod_node(var("a"), var("b")), var("c"))
+        compiled = compile_circuit(circuit, order=("c", "b", "a"))
+        assert compiled.order == ("c", "b", "a")
+        assert isinstance(compiled.root, Decision) and compiled.root.name == "c"
+        for assignment in all_assignments(("a", "b", "c")):
+            assert decide(compiled.root, assignment) == (
+                (assignment["a"] and assignment["b"]) or assignment["c"]
+            )
+
+    def test_explicit_order_must_cover_the_support(self):
+        with pytest.raises(SemiringError):
+            CircuitCompiler(order=("a",)).compile(prod_node(var("a"), var("b")))
+
+    def test_module_cache_returns_identical_objects(self):
+        clear_compile_cache()
+        circuit = prod_node(var("a"), sum_node(var("b"), var("c")))
+        first = compile_circuit(circuit)
+        assert compile_circuit(circuit) is first
+        assert compile_circuit(circuit, model="frequency") is not first
+
+    def test_shared_compiler_shares_the_memo(self):
+        """Related lineages (same subcircuits) must hit the compile cache."""
+        compiler = CircuitCompiler()
+        base = prod_node(var("a"), var("b"))
+        compiler.compile(base)
+        hits_before = compiler.cache_hits
+        compiler.compile(sum_node(base, var("c")))
+        assert compiler.cache_hits > hits_before
+
+    def test_compile_metrics_accumulate(self):
+        clear_compile_cache()
+        before = compilation.snapshot()
+        compile_circuit(sum_node(prod_node(var("a"), var("b")), var("d")))
+        delta = compilation.delta(before)
+        assert delta["compiles"] == 1
+        assert delta["input_nodes"] > 0
+        assert delta["output_nodes"] > 0
+
+
+class TestDeletionHomomorphism:
+    """Satellite: the PR 8 vars->0 deletion homomorphism commutes with
+    compilation -- restricting the source circuit and compiling equals
+    restricting the compiled diagram (as Boolean functions)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        circuits(),
+        st.sets(st.sampled_from(NAMES), max_size=3),
+        st.randoms(use_true_random=False),
+    )
+    def test_restrict_commutes_with_compilation(self, circuit, deleted, rng):
+        deleted = frozenset(deleted)
+        source_restricted = compile_circuit(restrict_vars(circuit, deleted))
+        diagram_restricted = restrict_vars(compile_circuit(circuit).root, deleted)
+        weights = {name: rng.random() for name in NAMES}
+        assert wmc(diagram_restricted, weights) == pytest.approx(
+            source_restricted.wmc(weights), abs=1e-12
+        )
+        for assignment in all_assignments(NAMES):
+            alive = {k: v for k, v in assignment.items() if k not in deleted}
+            assert decide(diagram_restricted, alive) == decide(
+                source_restricted.root, alive
+            )
+
+    def test_restrict_handles_negation_and_decisions(self):
+        from repro.circuits import decision_node, not_node
+
+        diagram = decision_node("a", decision_node("b", ONE, ZERO), ZERO)
+        # Deleting "a" forces the lo branch; deleting "b" prunes inside.
+        assert restrict_vars(diagram, {"a"}) is ZERO
+        restricted = restrict_vars(diagram, {"b"})
+        assert decide(restricted, {"a": True, "b": True}) is False
+        assert restrict_vars(not_node(var("a")), {"a"}) is ONE
+
+    def test_specialize_after_restriction_matches_zero_valuation(self):
+        """The deletion path's contract: restrict-then-specialize equals
+        specializing with the deleted variables sent to zero."""
+        circuit = sum_node(prod_node(var("a"), var("b")), prod_node(var("c"), var("d")))
+        deleted = {"b"}
+        restricted = restrict_vars(circuit, deleted)
+        valuation = {"a": 2, "b": 5, "c": 3, "d": 1}
+        zeroed = {name: (0 if name in deleted else value) for name, value in valuation.items()}
+        survivors = {k: v for k, v in valuation.items() if k not in deleted}
+        assert specialize(restricted, NATURALS, survivors) == specialize(
+            circuit, NATURALS, zeroed
+        )

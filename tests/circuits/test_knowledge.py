@@ -1,0 +1,131 @@
+"""The knowledge-compilation property layer: negation/decision nodes and the
+structural checks of the Darwiche-Marquis map (decomposability, determinism,
+smoothness)."""
+
+import pickle
+
+import pytest
+
+from repro.circuits import (
+    ONE,
+    ZERO,
+    Decision,
+    Not,
+    check_ddnnf,
+    classify,
+    decision_node,
+    is_decomposable,
+    is_deterministic,
+    is_smooth,
+    iter_nodes,
+    node_count,
+    not_node,
+    prod_node,
+    render,
+    smooth,
+    sum_node,
+    to_nnf,
+    var,
+    wmc,
+)
+from repro.errors import SemiringError
+
+
+class TestNewNodes:
+    def test_not_node_is_interned_and_involutive(self):
+        assert not_node(var("x")) is not_node(var("x"))
+        assert not_node(not_node(var("x"))) is var("x")
+
+    def test_not_node_on_constants_flips(self):
+        assert not_node(ZERO) is ONE
+        assert not_node(ONE) is ZERO
+
+    def test_not_node_rejects_interior_gates(self):
+        with pytest.raises(Exception):
+            not_node(sum_node(var("x"), var("y")))
+
+    def test_decision_node_interned_and_collapsing(self):
+        d = decision_node("x", ONE, ZERO)
+        assert decision_node("x", ONE, ZERO) is d
+        # ite(x, f, f) = f -- the BDD reduction rule.
+        assert decision_node("x", var("y"), var("y")) is var("y")
+        # collapse=False keeps the redundant test (used by smoothing).
+        kept = decision_node("x", var("y"), var("y"), collapse=False)
+        assert isinstance(kept, Decision)
+
+    def test_traversal_and_render_cover_new_nodes(self):
+        d = decision_node("x", var("y"), not_node(var("y")))
+        kinds = {type(n).__name__ for n in iter_nodes(d)}
+        assert "Decision" in kinds and "Not" in kinds
+        text = render(d)
+        assert "ite(" in text and "¬" in text
+
+    def test_pickle_round_trip_preserves_interning(self):
+        d = decision_node("x", not_node(var("y")), decision_node("y", ONE, ZERO))
+        clone = pickle.loads(pickle.dumps(d))
+        assert clone is d
+
+
+class TestStructuralProperties:
+    def test_decomposable_product_detected(self):
+        good = prod_node(var("x"), var("y"))
+        bad = prod_node(var("x"), sum_node(var("x"), var("y")))
+        assert is_decomposable(good)
+        assert not is_decomposable(bad)
+
+    def test_deterministic_sum_detected(self):
+        # x·y + x·¬y: disjoint on y -> deterministic.
+        good = sum_node(
+            prod_node(var("x"), var("y")),
+            prod_node(var("x"), not_node(var("y"))),
+        )
+        bad = sum_node(var("x"), var("y"))  # both true in a shared model
+        assert is_deterministic(good)
+        assert not is_deterministic(bad)
+
+    def test_smoothness_detected(self):
+        rough = sum_node(
+            prod_node(var("x"), var("y")),
+            prod_node(var("x"), not_node(var("y"))),
+        )
+        assert is_smooth(rough)  # both disjuncts mention {x, y}
+        uneven = sum_node(prod_node(var("x"), var("y")), var("x"))
+        assert not is_smooth(uneven)
+
+    def test_classify_and_check(self):
+        d = decision_node("x", decision_node("y", ONE, ZERO), ZERO)
+        props = classify(d)
+        assert props["decomposable"] and props["deterministic"]
+        check_ddnnf(d)  # must not raise
+        with pytest.raises(SemiringError):
+            check_ddnnf(sum_node(var("x"), var("x")))
+
+
+class TestSmoothAndNNF:
+    def test_smooth_fills_skipped_levels(self):
+        # Decides only x; smoothing over (x, y) must test y on every path.
+        d = decision_node("x", ONE, ZERO)
+        smoothed = smooth(d, ("x", "y"))
+        assert is_smooth(smoothed, variables={"x", "y"})
+        weights = {"x": 0.3, "y": 0.9}
+        assert wmc(smoothed, weights) == pytest.approx(wmc(d, weights))
+
+    def test_smooth_rejects_unordered_diagrams(self):
+        inner = decision_node("x", ONE, ZERO)
+        outer = decision_node("y", inner, ZERO)
+        with pytest.raises(SemiringError):
+            smooth(outer, ("x", "y"))  # y decided before x
+
+    def test_to_nnf_expands_decisions(self):
+        d = decision_node("x", decision_node("y", ONE, ZERO), ZERO)
+        nnf = to_nnf(d)
+        assert not any(isinstance(n, Decision) for n in iter_nodes(nnf))
+        weights = {"x": 0.25, "y": 0.5}
+        assert wmc(nnf, weights) == pytest.approx(wmc(d, weights))
+        # The expansion is deterministic and decomposable, so still a d-DNNF.
+        check_ddnnf(nnf)
+
+    def test_node_count_counts_shared_nodes_once(self):
+        shared = decision_node("y", ONE, ZERO)
+        d = decision_node("x", shared, decision_node("z", shared, ZERO))
+        assert node_count(d) == len(list(iter_nodes(d)))

@@ -79,6 +79,68 @@ class TestQueryPlumbing:
             assert fast[tup] == pytest.approx(probability)
 
 
+class TestPipelinedDefault:
+    """The pipelined executor is now the default for probabilistic queries."""
+
+    def test_signature_defaults_are_pipelined(self):
+        import inspect
+
+        for method in (
+            ProbabilisticDatabase.query_events,
+            ProbabilisticDatabase.query_probabilities,
+            ProbabilisticDatabase.query_lineage,
+        ):
+            assert (
+                inspect.signature(method).parameters["executor"].default
+                == "pipelined"
+            ), method.__name__
+
+    def test_default_matches_explicit_naive(self):
+        pdb = figure4_probabilistic_database()
+        query = section2_query()
+        _assert_identical_events(
+            pdb.query_events(query, executor="naive"),
+            pdb.query_events(query),
+            "pipelined default",
+        )
+        naive = pdb.query_probabilities(query, executor="naive")
+        default = pdb.query_probabilities(query)
+        assert set(naive) == set(default)
+        for tup, probability in naive.items():
+            assert default[tup] == pytest.approx(probability)
+
+
+class TestEventSpaceMemo:
+    """``IndependentEventSpace.probability`` memoizes per distinct event.
+
+    The space is immutable after ``_build`` -- marginals are fixed at
+    construction and the 2^n world set never changes -- so the memo is never
+    invalidated.  It is also lazy: nothing is built until first use.
+    """
+
+    def test_space_is_lazy_until_first_use(self):
+        from repro.probabilistic import IndependentEventSpace
+
+        space = IndependentEventSpace({"e1": 0.5, "e2": 0.25})
+        assert not space.is_built
+        space.probability(space.event("e1"))
+        assert space.is_built
+
+    def test_memo_grows_and_hits(self):
+        from repro.probabilistic import IndependentEventSpace
+
+        space = IndependentEventSpace({"e1": 0.5, "e2": 0.25})
+        e1 = space.event("e1")
+        first = space.probability(e1)
+        assert len(space._probability_memo) == 1
+        # The memoized value is returned (same float object, no recompute).
+        assert space.probability(frozenset(e1)) is first
+        assert len(space._probability_memo) == 1
+        space.probability(space.event("e2"))
+        assert len(space._probability_memo) == 2
+        assert first == pytest.approx(0.5)
+
+
 class TestDatalogPlumbing:
     def test_both_engines_produce_identical_events(self):
         pdb = _cyclic_pdb()
